@@ -1,0 +1,165 @@
+"""Ablations for the design choices DESIGN.md calls out:
+
+* specialization on/off (Table 1's mechanism),
+* Delite op fusion on/off,
+* inlining policy,
+* CSE / dead-store elimination effect (measured via source size),
+* natural unrolling on/off.
+"""
+
+import pytest
+
+from repro import CompileOptions, Lancet
+from repro.apps import load_app
+from repro.optiml import load_optiml
+
+
+@pytest.fixture(scope="module")
+def csv_data():
+    from repro.apps.csv_baselines import accessed_keys, generate_csv
+    return generate_csv(4000), accessed_keys()
+
+
+def _fresh_csv_jit(options=None):
+    jit = Lancet(options=options)
+    load_app(jit, "csv", module="CsvApp")
+    return jit
+
+
+def test_specialization_on(benchmark, csv_data):
+    lines, keys = csv_data
+    jit = _fresh_csv_jit()
+    jit.vm.call("CsvApp", "flagQuery", [lines, keys])   # compile
+    runner = jit.compile_log[-1][1]
+    benchmark(runner, 1)
+
+
+def test_specialization_off_interpreted(benchmark, csv_data):
+    lines, keys = csv_data
+    jit = _fresh_csv_jit()
+    sub = lines[:401]
+    benchmark.pedantic(
+        lambda: jit.vm.call("CsvApp", "flagQueryInterp", [sub, keys]),
+        rounds=1, iterations=1)
+
+
+def test_fold_disabled_keeps_name_lookup(csv_data):
+    """With static-array folding off, freeze still demands evaluation —
+    so compilation *fails loudly* rather than silently degrading."""
+    from repro.errors import FreezeError
+    lines, keys = csv_data
+    jit = _fresh_csv_jit(options=CompileOptions(assume_static_arrays=False))
+    with pytest.raises(FreezeError):
+        jit.vm.call("CsvApp", "flagQuery", [lines[:50], keys])
+
+
+@pytest.fixture(scope="module")
+def namescore_pair():
+    from repro.optiml.reference import names_data
+    names = names_data(4000)
+
+    def build(fusion):
+        jit = Lancet(options=CompileOptions(delite_fusion=fusion))
+        load_optiml(jit)
+        load_app(jit, "namescore", module="Namescore")
+        cf = jit.vm.call("Namescore", "makeCompiled", [names])
+        cf(0)
+        return jit, cf
+
+    return names, build
+
+
+def test_fusion_on(benchmark, namescore_pair):
+    __, build = namescore_pair
+    __, cf = build(True)
+    benchmark(cf, 0)
+
+
+def test_fusion_off(benchmark, namescore_pair):
+    __, build = namescore_pair
+    __, cf = build(False)
+    benchmark(cf, 0)
+
+
+def test_fusion_reduces_op_count(namescore_pair):
+    __, build = namescore_pair
+    jit_on, cf_on = build(True)
+    jit_off, cf_off = build(False)
+    jit_on.delite.reset_clock()
+    cf_on(0)
+    jit_off.delite.reset_clock()
+    cf_off(0)
+    assert jit_on.delite.ops_run < jit_off.delite.ops_run
+
+
+ARITH_SRC = '''
+    def helper(x) { return x * 3 + 1; }
+    def work(n) {
+      var s = 0;
+      var i = 0;
+      while (i < n) { s = s + helper(i) + helper(i); i = i + 1; }
+      return s;
+    }
+'''
+
+
+def test_inlining_on(benchmark):
+    jit = Lancet()
+    jit.load(ARITH_SRC)
+    cf = jit.compile_function("Main", "work")
+    cf(10)
+    benchmark(cf, 20000)
+
+
+def test_inlining_off(benchmark):
+    jit = Lancet(options=CompileOptions(inline_policy="never"))
+    jit.load(ARITH_SRC)
+    cf = jit.compile_function("Main", "work")
+    cf(10)
+    benchmark(cf, 20000)
+
+
+def test_cse_collapses_duplicate_work():
+    jit = Lancet()
+    jit.load(ARITH_SRC)
+    cf = jit.compile_function("Main", "work")
+    # helper(i) + helper(i): after inlining + CSE, the multiply happens once
+    assert cf.source.count("* 3") == 1
+
+
+UNROLL_SRC = '''
+    def make(n) {
+      return Lancet.compile(fun(x) {
+        return Lancet.unrollTopLevel(fun() {
+          var acc = [x];
+          var i = 0;
+          while (i < Lancet.freeze(n)) { acc[0] = acc[0] + i * x; i = i + 1; }
+          return acc[0];
+        });
+      });
+    }
+    def makePlain(n) {
+      return Lancet.compile(fun(x) {
+        var acc = x;
+        var i = 0;
+        while (i < n) { acc = acc + i * x; i = i + 1; }
+        return acc;
+      });
+    }
+'''
+
+
+def test_unrolled_loop(benchmark):
+    jit = Lancet()
+    jit.load(UNROLL_SRC)
+    cf = jit.vm.call("Main", "make", [32])
+    assert cf(1) == 1 + sum(range(32))
+    benchmark(cf, 7)
+
+
+def test_rolled_loop(benchmark):
+    jit = Lancet()
+    jit.load(UNROLL_SRC)
+    cf = jit.vm.call("Main", "makePlain", [32])
+    assert cf(1) == 1 + sum(range(32))
+    benchmark(cf, 7)

@@ -1,0 +1,64 @@
+"""Table 2a — k-means clustering rows (paper: library 1.0-1.83×,
+Lancet-Delite 4.9-24×, Delite ~5-25×, C++ 7.7-41×, GPU ~51-55×)."""
+
+import pytest
+
+from repro.optiml.reference import kmeans_cpp, kmeans_delite
+
+
+def test_library_row(benchmark, kmeans_setup):
+    s = kmeans_setup
+    # Interpreted guest library at reduced size (extrapolation documented).
+    px, py = s["px"][:1500], s["py"][:1500]
+    benchmark.pedantic(
+        lambda: s["jit"].vm.call("Kmeans", "run", [px, py, s["k"], 1]),
+        rounds=1, iterations=1)
+
+
+def test_lancet_delite_row(benchmark, kmeans_setup):
+    s = kmeans_setup
+    s["jit"].delite.configure("seq")
+    benchmark(s["cf"], 0)
+
+
+def test_lancet_delite_smp8(benchmark, kmeans_setup):
+    s = kmeans_setup
+    s["jit"].delite.configure("smp", cores=8)
+    benchmark(s["cf"], 0)
+    s["jit"].delite.configure("seq")
+
+
+def test_lancet_delite_gpu(benchmark, kmeans_setup):
+    s = kmeans_setup
+    s["jit"].delite.configure("gpu")
+    benchmark(s["cf"], 0)
+    s["jit"].delite.configure("seq")
+
+
+def test_delite_standalone_row(benchmark, kmeans_setup):
+    from repro.delite.runtime import DeliteRuntime
+    s = kmeans_setup
+    rt = DeliteRuntime(backend="seq")
+    benchmark(kmeans_delite, rt, s["px"], s["py"], s["k"], s["iters"])
+
+
+def test_cpp_row(benchmark, kmeans_setup):
+    s = kmeans_setup
+    benchmark(kmeans_cpp, s["px"], s["py"], s["k"], s["iters"])
+
+
+def test_shape_compiled_beats_interpreted(kmeans_setup):
+    """Lancet-Delite must dominate the interpreted library by a large
+    factor, and stay within a small factor of hand-fused numpy."""
+    import time
+    s = kmeans_setup
+    t0 = time.perf_counter()
+    s["jit"].vm.call("Kmeans", "run",
+                     [s["px"][:1000], s["py"][:1000], s["k"], 1])
+    t_lib_scaled = (time.perf_counter() - t0) \
+        * (len(s["px"]) / 1000) * s["iters"]
+    s["jit"].delite.configure("seq")
+    t0 = time.perf_counter()
+    s["cf"](0)
+    t_ld = time.perf_counter() - t0
+    assert t_ld < t_lib_scaled / 20

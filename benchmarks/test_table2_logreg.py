@@ -1,0 +1,46 @@
+"""Table 2b — logistic regression rows (paper: library 1-5.8×,
+Lancet-Delite 7.8-33×, Delite 7.8-40×, manual-opt Delite 24-133×,
+C++ 25-161×, GPU ~50×)."""
+
+from repro.optiml.reference import logreg_cpp, logreg_delite
+
+
+def test_library_row(benchmark, logreg_setup):
+    s = logreg_setup
+    cols = [c[:1000] for c in s["cols"]]
+    benchmark.pedantic(
+        lambda: s["jit"].vm.call("Logreg", "run",
+                                 [cols, s["y"][:1000], 1, s["alpha"]]),
+        rounds=1, iterations=1)
+
+
+def test_lancet_delite_row(benchmark, logreg_setup):
+    s = logreg_setup
+    s["jit"].delite.configure("seq")
+    benchmark(s["cf"], 0)
+
+
+def test_lancet_delite_smp8(benchmark, logreg_setup):
+    s = logreg_setup
+    s["jit"].delite.configure("smp", cores=8)
+    benchmark(s["cf"], 0)
+    s["jit"].delite.configure("seq")
+
+
+def test_lancet_delite_gpu(benchmark, logreg_setup):
+    s = logreg_setup
+    s["jit"].delite.configure("gpu")
+    benchmark(s["cf"], 0)
+    s["jit"].delite.configure("seq")
+
+
+def test_delite_standalone_row(benchmark, logreg_setup):
+    from repro.delite.runtime import DeliteRuntime
+    s = logreg_setup
+    rt = DeliteRuntime(backend="seq")
+    benchmark(logreg_delite, rt, s["cols"], s["y"], s["iters"], s["alpha"])
+
+
+def test_cpp_row(benchmark, logreg_setup):
+    s = logreg_setup
+    benchmark(logreg_cpp, s["cols"], s["y"], s["iters"], s["alpha"])

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Code caching and on-demand compilation (paper 3.1): calcJIT / calcHOT.
+
+Run:  python examples/code_cache.py
+"""
+
+from repro import CodeCache, Lancet, make_hot, make_jit
+
+SOURCE = """
+def calc(x, y) {
+  var acc = 0;
+  var i = 0;
+  while (i < x) { acc = acc + (y * i) % 7; i = i + 1; }
+  return acc;
+}
+"""
+
+
+def main():
+    jit = Lancet()
+    jit.load(SOURCE)
+
+    # calcJIT: one specialized variant per distinct x, cached.
+    calc_jit = make_jit(jit, "Main", "calc")
+    for x, y in [(100, 3), (100, 4), (200, 3), (100, 5)]:
+        print("calcJIT(%d, %d) = %d" % (x, y, calc_jit(x, y)))
+    print("cache: %d variants, %d hits, %d misses"
+          % (len(calc_jit.cache), calc_jit.cache.hits,
+             calc_jit.cache.misses))
+
+    # Each variant embeds x as a compile-time constant:
+    variant = calc_jit.cache.get(100)
+    assert "100" in variant.source
+    print("variant for x=100 embeds the constant: yes")
+
+    # calcHOT: compile only after a value gets hot.
+    calc_hot = make_hot(jit, "Main", "calc", threshold=2)
+    for __ in range(4):
+        calc_hot(50, 7)
+    print("hot cache size after 4 calls at threshold 2:",
+          len(calc_hot.cache))
+
+    # Custom eviction policy, as the paper suggests.
+    evicted = []
+    cache = CodeCache(capacity=2, on_evict=lambda k, v: evicted.append(k))
+    calc_lru = make_jit(jit, "Main", "calc", cache=cache)
+    for x in (1, 2, 3):
+        calc_lru(x, 1)
+    print("with capacity-2 LRU, evicted:", evicted)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The paper's motivating example (Fig. 1/3): CSV processing specialized
+to a file's schema at runtime.
+
+The guest library reads the schema from the first line, then compiles the
+row-processing loop with `Lancet.compile`; `freeze(indexOf(schema, key))`
+turns every access-by-name into access-by-constant-index, and the Record
+object is scalar-replaced away entirely.
+
+Run:  python examples/csv_processing.py
+"""
+
+import time
+
+from repro import Lancet
+from repro.apps import load_app
+from repro.apps.csv_baselines import (accessed_keys, cpp_baseline,
+                                      generate_csv, library_baseline)
+
+
+def main():
+    lines = generate_csv(rows=15000, cols=20)
+    keys = accessed_keys()
+
+    jit = Lancet()
+    load_app(jit, "csv", module="CsvApp")
+
+    # Run the guest app: it compiles a loop specialized to this schema and
+    # this callback, then processes every row through it.
+    t0 = time.perf_counter()
+    yes_count, total_len = jit.vm.call("CsvApp", "flagQuery", [lines, keys])
+    t_lancet = time.perf_counter() - t0
+    print("rows with Flag=yes: %d; total accessed length: %d"
+          % (yes_count, total_len))
+
+    # Compare with the baselines.
+    t0 = time.perf_counter()
+    assert library_baseline(lines, keys) == [yes_count, total_len]
+    t_lib = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    assert cpp_baseline(lines, keys) == [yes_count, total_len]
+    t_cpp = time.perf_counter() - t0
+
+    print("\ntimings: Lancet(incl. compile)=%.1fms | generic library=%.1fms "
+          "| hand-written=%.1fms" % (t_lancet * 1e3, t_lib * 1e3,
+                                     t_cpp * 1e3))
+
+    # Show the specialized loop: no Record allocation, no indexOf — just
+    # split + constant indices.
+    runner = jit.compile_log[-1][1]
+    print("\n--- the specialized row loop ---")
+    print(runner.source)
+    assert "indexOf" not in runner.source
+    assert "_newinst" not in runner.source
+
+    # And the same record printed as key/value pairs, unrolled over the
+    # frozen schema (the paper's second snippet).
+    small = ["Name,Value,Flag", "A,7,no", "B,2,yes"]
+    jit2 = Lancet()
+    load_app(jit2, "csv", module="CsvApp")
+    jit2.vm.call("CsvApp", "dumpRecords", [small])
+    print("\n--- dumpRecords output ---")
+    print(jit2.vm.output())
+
+
+if __name__ == "__main__":
+    main()

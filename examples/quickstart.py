@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: load a guest (MiniJ) program, run it interpreted, compile it
+explicitly, inspect the generated code, and watch specialization work.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Lancet
+
+SOURCE = """
+class Greeter {
+  val prefix;
+  def init(prefix) { this.prefix = prefix; }
+  def greet(name) { return this.prefix + ", " + name + "!"; }
+}
+
+def poly(x) { return 3 * x * x + 2 * x + 1; }
+
+def makeGreeter(prefix) {
+  var g = new Greeter(prefix);
+  // Explicit JIT compilation (paper Fig. 2): the returned function is
+  // specialized against the live Greeter object.
+  return Lancet.compile(fun(name) => g.greet(name));
+}
+"""
+
+
+def main():
+    jit = Lancet()
+    jit.load(SOURCE)
+
+    # 1. Plain interpretation.
+    print("interpreted poly(10) =", jit.vm.call("Main", "poly", [10]))
+
+    # 2. Explicit compilation of a static function.
+    poly = jit.compile_function("Main", "poly")
+    print("compiled    poly(10) =", poly(10))
+    print("\n--- generated code for poly ---")
+    print(poly.source)
+
+    # 3. Specialization against live heap objects: the Greeter's prefix is
+    #    a final field, so it folds into the compiled code as a constant.
+    greet = jit.vm.call("Main", "makeGreeter", ["Hello"])
+    print("specialized greeter:", greet("world"))
+    print("\n--- generated code for the specialized greeter ---")
+    print(greet.source)
+    assert "'Hello, '" in greet.source or '"Hello, "' in greet.source \
+        or "Hello" in greet.source
+
+    # 4. Compiled functions report what happened.
+    print("deopt count:", greet.deopt_count,
+          "| compile count:", greet.compile_count,
+          "| warnings:", greet.warnings)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Speculative optimization (paper 3.2): overflow-safe integers and
+search trees over stable structure.
+
+Run:  python examples/speculation.py
+"""
+
+from repro import Lancet
+from repro.apps import load_app
+
+
+def safeint_demo():
+    print("=== SafeInt: speculate on machine-size integers ===")
+    jit = Lancet()
+    load_app(jit, "safeint", module="Safeint")
+    product = jit.vm.call("Safeint", "makeProduct")
+
+    # Small products stay on the compiled fast path.
+    print("product(10) =", product(10))
+    print("deopts so far:", product.deopt_count)
+
+    # 21! overflows 64-bit... and certainly 32-bit: the guard fails, the
+    # rest of the computation continues in the interpreter with Big values.
+    big = product(21)
+    print("product(21) =", big)
+    print("deopts now:", product.deopt_count)
+    import math
+    assert big == math.factorial(21)
+    # The compiled fast path contains no Big allocation at all.
+    assert "Big" not in product.source
+
+
+def stable_tree_demo():
+    print("\n=== Stable trees: structure compiled to decision code ===")
+    jit = Lancet()
+    load_app(jit, "stabletree", module="Stabletree")
+    jit.mark_stable("Node", "key")
+    jit.mark_stable("Node", "value")
+    jit.mark_stable("Node", "left")
+    jit.mark_stable("Node", "right")
+
+    root = None
+    for k, v in [(50, "root"), (25, "left"), (75, "right"), (10, "a"),
+                 (30, "b"), (60, "c"), (90, "d")]:
+        root = jit.vm.call("Stabletree", "insert", [root, k, v])
+
+    lookup = jit.vm.call("Stabletree", "makeLookup", [root])
+    print("lookup(30) =", lookup(30))
+    print("lookup(99) =", lookup(99))
+    # The tree became branching code: no field reads remain.
+    assert "_getf" not in lookup.source and "fields[" not in lookup.source
+    print("compiled lookup is pure decision code "
+          "(%d lines)" % len(lookup.source.splitlines()))
+
+    # A structural update writes a @stable field -> invalidation ->
+    # recompilation against the new structure on the next call.
+    root = jit.vm.call("Stabletree", "insert", [root, 65, "new!"])
+    print("after insert: valid =", lookup.valid)
+    print("lookup(65) =", lookup(65))
+    print("compile count:", lookup.compile_count)
+
+
+if __name__ == "__main__":
+    safeint_demo()
+    stable_tree_demo()

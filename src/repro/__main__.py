@@ -1,0 +1,116 @@
+"""Command-line interface: run, disassemble, and inspect MiniJ programs.
+
+    python -m repro run program.mj [fn [args...]]     # interpret
+    python -m repro jit program.mj fn [args...]       # compile + run
+    python -m repro dis program.mj                    # show bytecode
+    python -m repro dump program.mj fn                # show generated code
+
+Arguments are parsed as Python literals (42, 3.5, "text", True).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+
+from repro import Lancet
+from repro.bytecode.disassembler import disassemble_class
+from repro.frontend.compiler import compile_source
+
+
+def _parse_arg(text):
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _load(path, module):
+    with open(path) as f:
+        source = f.read()
+    jit = Lancet()
+    jit.load(source, module=module)
+    return jit
+
+
+def cmd_run(args):
+    jit = _load(args.program, args.module)
+    jit.vm._output_mode = "stdout"
+    result = jit.vm.call(args.module, args.fn,
+                         [_parse_arg(a) for a in args.args])
+    if result is not None:
+        print(result)
+    return 0
+
+
+def cmd_jit(args):
+    jit = _load(args.program, args.module)
+    jit.vm._output_mode = "stdout"
+    compiled = jit.compile_function(args.module, args.fn)
+    result = compiled(*[_parse_arg(a) for a in args.args])
+    if result is not None:
+        print(result)
+    if args.show_code:
+        print("\n--- generated code ---", file=sys.stderr)
+        print(compiled.source, file=sys.stderr)
+    return 0
+
+
+def cmd_dis(args):
+    with open(args.program) as f:
+        source = f.read()
+    for cls in compile_source(source, module=args.module):
+        print(disassemble_class(cls))
+        print()
+    return 0
+
+
+def cmd_dump(args):
+    jit = _load(args.program, args.module)
+    compiled = jit.compile_function(args.module, args.fn)
+    print(compiled.source)
+    if compiled.warnings:
+        print("\n# warnings:", file=sys.stderr)
+        for w in compiled.warnings:
+            print("#   %s" % w, file=sys.stderr)
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Lancet-on-MiniJVM toolchain")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="interpret a guest program")
+    p.add_argument("program")
+    p.add_argument("fn", nargs="?", default="main")
+    p.add_argument("args", nargs="*")
+    p.add_argument("--module", default="Main")
+    p.set_defaults(handler=cmd_run)
+
+    p = sub.add_parser("jit", help="compile a function, then run it")
+    p.add_argument("program")
+    p.add_argument("fn")
+    p.add_argument("args", nargs="*")
+    p.add_argument("--module", default="Main")
+    p.add_argument("--show-code", action="store_true")
+    p.set_defaults(handler=cmd_jit)
+
+    p = sub.add_parser("dis", help="disassemble compiled bytecode")
+    p.add_argument("program")
+    p.add_argument("--module", default="Main")
+    p.set_defaults(handler=cmd_dis)
+
+    p = sub.add_parser("dump", help="print the JIT's generated code")
+    p.add_argument("program")
+    p.add_argument("fn")
+    p.add_argument("--module", default="Main")
+    p.set_defaults(handler=cmd_dump)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Abstract interpretation: the analysis layer on top of the staged
+interpreter (paper section 2.2: "Compiler + Abstract Interpreter =
+Optimizer")."""
+
+from repro.absint.absval import (AbsVal, Const, Static, Partial,
+                                 PartialArray, Unknown, lub, abs_of_value)
+
+__all__ = ["AbsVal", "Const", "Static", "Partial", "PartialArray",
+           "Unknown", "lub", "abs_of_value"]

@@ -1,0 +1,30 @@
+"""Guest (MiniJ) applications from the paper, plus loaders.
+
+Each ``.mj`` file is a MiniJ port of code the paper shows or evaluates:
+
+* ``csv.mj`` — Fig. 1/3: the CSV-processing library with explicit JIT calls
+* ``safeint.mj`` — section 3.2: overflow-safe integers via slowpath
+* ``stabletree.mj`` — section 3.2: search trees over stable structure
+* ``reactive.mj`` — section 3.2: observer networks over stable wiring
+* ``namescore.mj`` — section 3.4: the name-score file-processing program
+* ``kmeans.mj`` / ``logreg.mj`` — section 3.4: the OptiML applications
+* ``std.mj`` — guest collections (ArrayList/HashMap/StringBuilder) and the
+  guest-side ``CalcJIT`` code cache of section 3.1
+"""
+
+from __future__ import annotations
+
+import os
+
+_HERE = os.path.dirname(__file__)
+
+
+def app_source(name):
+    """Read the MiniJ source of a bundled app (e.g. ``"csv"``)."""
+    with open(os.path.join(_HERE, name + ".mj")) as f:
+        return f.read()
+
+
+def load_app(jit, name, module=None):
+    """Load a bundled app into a Lancet instance."""
+    return jit.load(app_source(name), module=module or name.capitalize())

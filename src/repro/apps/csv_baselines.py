@@ -1,0 +1,124 @@
+"""Host-side CSV baselines and workload generator for Table 1.
+
+Mapping to the paper's rows (see DESIGN.md):
+
+* ``cpp_baseline`` — the "hand written C++" analogue: a straightforward
+  port of Fig. 1's logic to plain host code; column access resolves the
+  name with a linear scan of the header, per record (exactly what the
+  Scala code ``schema indexOf key`` does and what a direct C++ port with
+  ``std::find`` does).
+* ``cpp_hashmap_baseline`` — a stronger C++ analogue using a hash map for
+  the header (ablation row).
+* ``library_baseline`` — the "Scala library" analogue: the generic Record
+  abstraction running on the host runtime (CPython here, HotSpot there).
+* the Lancet row is guest code from ``csv.mj`` compiled by the JIT.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+
+def generate_csv(rows, cols=20, seed=0):
+    """Synthetic CSV: ``cols`` columns ("Flag", "C1".."Cn"), ``rows`` data
+    rows; returns the file content as a list of lines (header first)."""
+    rng = random.Random(seed)
+    names = ["Flag"] + ["C%d" % i for i in range(1, cols)]
+    lines = [",".join(names)]
+    letters = string.ascii_lowercase
+    for __ in range(rows):
+        flag = "yes" if rng.random() < 0.3 else "no"
+        fields = [flag] + [
+            "".join(rng.choice(letters) for __ in range(rng.randint(3, 9)))
+            for __ in range(cols - 1)
+        ]
+        lines.append(",".join(fields))
+    return lines
+
+
+def accessed_keys(cols=20, count=10):
+    """The 10-of-20 columns the paper's workload accesses by name."""
+    names = ["Flag"] + ["C%d" % i for i in range(1, cols)]
+    return [names[i] for i in range(0, cols, max(1, cols // count))][:count]
+
+
+# -- baselines ----------------------------------------------------------------
+
+class HostRecord:
+    """The generic library abstraction (paper Fig. 1), host-side."""
+
+    __slots__ = ("fields", "schema")
+
+    def __init__(self, fields, schema):
+        self.fields = fields
+        self.schema = schema
+
+    def __call__(self, key):
+        return self.fields[self.schema.index(key)]
+
+    def each(self, f):
+        for i, k in enumerate(self.schema):
+            f(k, self.fields[i])
+
+
+def library_baseline(lines, keys):
+    """Generic Record library on the host runtime ("Scala Library" row)."""
+    schema = lines[0].split(",")
+    yes = 0
+    total = 0
+    for i in range(1, len(lines)):
+        rec = HostRecord(lines[i].split(","), schema)
+        if rec("Flag") == "yes":
+            yes += 1
+        for k in keys:
+            total += len(rec(k))
+    return [yes, total]
+
+
+def cpp_baseline(lines, keys):
+    """Straightforward hand-written reader ("C++" row): per-record
+    name-to-column resolution by linear scan, no Record object."""
+    schema = lines[0].split(",")
+    yes = 0
+    total = 0
+    for i in range(1, len(lines)):
+        fields = lines[i].split(",")
+        if fields[schema.index("Flag")] == "yes":
+            yes += 1
+        for k in keys:
+            total += len(fields[schema.index(k)])
+    return [yes, total]
+
+
+def cpp_hashmap_baseline(lines, keys):
+    """Stronger hand-written reader: header resolved through a hash map
+    (still per access, as a generic C++ CSV reader does)."""
+    schema = lines[0].split(",")
+    index = {k: i for i, k in enumerate(schema)}
+    yes = 0
+    total = 0
+    for i in range(1, len(lines)):
+        fields = lines[i].split(",")
+        if fields[index["Flag"]] == "yes":
+            yes += 1
+        for k in keys:
+            total += len(fields[index[k]])
+    return [yes, total]
+
+
+def specialized_by_hand(lines, keys):
+    """The upper bound: what the Lancet-generated code should look like —
+    indices resolved once, straight-line accesses."""
+    schema = lines[0].split(",")
+    flag_i = schema.index("Flag")
+    key_is = [schema.index(k) for k in keys]
+    yes = 0
+    total = 0
+    for i in range(1, len(lines)):
+        fields = lines[i].split(",")
+        if fields[flag_i] == "yes":
+            yes += 1
+        for ki in key_is:
+            total += len(fields[ki])
+    return [yes, total]

@@ -1,0 +1,2 @@
+"""Cross-compilation backends (paper section 3.5): the same staged IR that
+feeds the Python code generator can target JavaScript and SQL."""

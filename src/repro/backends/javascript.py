@@ -1,0 +1,180 @@
+"""JavaScript cross-compilation (paper 3.5).
+
+Lancet acts as a bytecode decompilation front-end: guest code is staged
+exactly as for native compilation, and the resulting IR is rendered as
+JavaScript. Residual virtual calls become JS method calls — this plays the
+role of the paper's DOM macro (``invokeMethod`` on classes inheriting the
+``JS`` marker emits ``receiver.name(args)``).
+
+Usage::
+
+    js = cross_compile_js(jit, "Main", "draw")   # or a guest closure
+    print(js)
+
+Limitations (as in the paper: "only core functionality of a JavaScript
+cross-compiler"): no guest-class translation (object-constructing code
+should be inlined/scalar-replaced away), no deoptimization (guards are
+rejected), statics must be primitives.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompilationError
+from repro.lms.ir import Branch, Jump, Return
+from repro.lms.rep import ConstRep, StaticRep, Sym
+
+_PRELUDE = """\
+function __div(a, b) { var q = a / b; return (Number.isInteger(a) && Number.isInteger(b)) ? Math.trunc(q) : q; }
+function __mod(a, b) { return a - __div(a, b) * b; }
+"""
+
+_INFIX = {"add": "+", "sub": "-", "mul": "*", "eq": "===", "ne": "!==",
+          "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+_NATIVES = {
+    ("Builtins", "println"): "console.log({0})",
+    ("Builtins", "print"): "console.log({0})",
+    ("Builtins", "str"): "String({0})",
+    ("Builtins", "len"): "({0}).length",
+    ("Builtins", "charCode"): "({0}).charCodeAt({1})",
+    ("Builtins", "substring"): "({0}).substring({1}, {2})",
+    ("Builtins", "split"): "({0}).split({1})",
+    ("Math", "exp"): "Math.exp({0})",
+    ("Math", "log"): "Math.log({0})",
+    ("Math", "sqrt"): "Math.sqrt({0})",
+    ("Math", "abs"): "Math.abs({0})",
+    ("Math", "min"): "Math.min({0}, {1})",
+    ("Math", "max"): "Math.max({0}, {1})",
+    ("Math", "pow"): "Math.pow({0}, {1})",
+    ("Math", "floor"): "Math.floor({0})",
+}
+
+
+def cross_compile_js(jit, class_name, method_name=None, fn_name=None):
+    """Cross-compile a guest static method (or closure) to JavaScript
+    source; returns the JS text."""
+    if method_name is None:
+        compiled = jit.compile_closure(class_name)   # a closure object
+        unit_name = fn_name or "apply"
+    else:
+        compiled = jit.compile_function(class_name, method_name)
+        unit_name = fn_name or method_name
+    return render_js(compiled.ir, unit_name)
+
+
+def render_js(result, fn_name):
+    blocks = result.blocks
+    params = ", ".join(result.param_names)
+    lines = [_PRELUDE, "function %s(%s) {" % (fn_name, params)]
+    order = sorted(blocks)
+    lines.append("  var __L = %d;" % result.entry_bid)
+    lines.append("  while (true) { switch (__L) {")
+    for bid in order:
+        block = blocks[bid]
+        lines.append("  case %d: {" % bid)
+        for stmt in block.stmts:
+            lines.append("    " + _stmt_js(stmt))
+        lines.extend("    " + ln for ln in _term_js(block.terminator))
+        lines.append("  }")
+    lines.append("  } }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _rep(r):
+    if isinstance(r, Sym):
+        return r.name
+    if isinstance(r, ConstRep):
+        v = r.value
+        if v is None:
+            return "null"
+        if v is True:
+            return "true"
+        if v is False:
+            return "false"
+        if isinstance(v, str):
+            return '"%s"' % v.replace("\\", "\\\\").replace('"', '\\"') \
+                .replace("\n", "\\n")
+        return repr(v)
+    if isinstance(r, StaticRep):
+        raise CompilationError(
+            "JS backend: cannot ship heap object %r; specialize it away "
+            "or pass it as a parameter" % (r.obj,))
+    raise AssertionError(r)
+
+
+def _stmt_js(stmt):
+    op = stmt.op
+    r = _rep
+    t = stmt.sym.name
+    if op in _INFIX:
+        return "var %s = %s %s %s;" % (t, r(stmt.args[0]), _INFIX[op],
+                                       r(stmt.args[1]))
+    if op == "div":
+        return "var %s = __div(%s, %s);" % (t, r(stmt.args[0]),
+                                            r(stmt.args[1]))
+    if op == "mod":
+        return "var %s = __mod(%s, %s);" % (t, r(stmt.args[0]),
+                                            r(stmt.args[1]))
+    if op == "concat":
+        return "var %s = %s + %s;" % (t, r(stmt.args[0]), r(stmt.args[1]))
+    if op == "neg":
+        return "var %s = -%s;" % (t, r(stmt.args[0]))
+    if op == "not":
+        return "var %s = !%s;" % (t, r(stmt.args[0]))
+    if op == "id":
+        return "var %s = %s;" % (t, r(stmt.args[0]))
+    if op == "alen":
+        return "var %s = (%s).length;" % (t, r(stmt.args[0]))
+    if op == "aload":
+        return "var %s = %s[%s];" % (t, r(stmt.args[0]), r(stmt.args[1]))
+    if op == "astore":
+        return "%s[%s] = %s; var %s = null;" % (
+            r(stmt.args[0]), r(stmt.args[1]), r(stmt.args[2]), t)
+    if op == "array_lit":
+        return "var %s = [%s];" % (t, ", ".join(r(x) for x in stmt.args))
+    if op == "new_array":
+        return "var %s = new Array(%s).fill(null);" % (t, r(stmt.args[0]))
+    if op == "getfield":
+        return "var %s = %s.%s;" % (t, r(stmt.args[0]), stmt.args[1])
+    if op == "putfield":
+        return "%s.%s = %s; var %s = null;" % (
+            r(stmt.args[0]), stmt.args[1], r(stmt.args[2]), t)
+    if op == "invoke":
+        # The paper's DOM macro: residual method calls become JS calls.
+        name = stmt.args[0]
+        rendered = ", ".join(r(x) for x in stmt.args[2:])
+        return "var %s = %s.%s(%s);" % (t, r(stmt.args[1]), name, rendered)
+    if op == "native":
+        nat = stmt.args[0]
+        template = _NATIVES.get((nat.class_name, nat.name))
+        if template is None:
+            raise CompilationError("JS backend: no translation for native "
+                                   "%s.%s" % (nat.class_name, nat.name))
+        expr = template.format(*[r(x) for x in stmt.args[1:]])
+        return "var %s = %s;" % (t, expr)
+    raise CompilationError("JS backend: cannot translate op %r "
+                           "(guards/deopt are host-only)" % (op,))
+
+
+def _term_js(term):
+    if isinstance(term, Jump):
+        return _assigns_js(term.phi_assigns) + \
+            ["__L = %d; continue;" % term.target]
+    if isinstance(term, Branch):
+        out = ["if (%s) {" % _rep(term.cond)]
+        out += ["  " + ln for ln in _assigns_js(term.true_assigns)]
+        out.append("  __L = %d; continue;" % term.true_target)
+        out.append("} else {")
+        out += ["  " + ln for ln in _assigns_js(term.false_assigns)]
+        out.append("  __L = %d; continue;" % term.false_target)
+        out.append("}")
+        return out
+    if isinstance(term, Return):
+        return ["return %s;" % _rep(term.value)]
+    raise CompilationError("JS backend: cannot translate terminator %r"
+                           % (term,))
+
+
+def _assigns_js(assigns):
+    return ["var %s = %s;" % (name, _rep(rep)) for name, rep in assigns]

@@ -1,0 +1,234 @@
+"""SQL / LINQ cross-compilation (paper 3.5).
+
+Language-embedded queries where predicates are *guest closures lifted from
+bytecode* rather than expression trees. The paper's pitch: systems like
+LINQ fail when the predicate calls an externally defined function, because
+only the closure's expression tree is lifted —
+
+    val res = data.filter(x => x.price > 0 && p(x))   // p defined elsewhere
+
+— whereas "if we were using Lancet and lifting bytecode instead of static
+trees this would not be a problem because bytecode is available for all
+functions." Here, ``Table.filter`` compiles the guest closure with Lancet
+(inlining any guest functions it calls) and translates the resulting IR to
+a SQL WHERE expression.
+
+Also reproduced: *scalar reuse* (``res.count`` then ``res.sum`` runs one
+query, not two) and *query avalanche avoidance* (a per-iteration nested
+filter becomes a single GROUP BY + index lookup).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompilationError
+from repro.lms.ir import Branch, Jump, Return
+from repro.lms.rep import ConstRep, StaticRep, Sym
+
+_SQL_OPS = {"add": "+", "sub": "-", "mul": "*", "div": "/",
+            "eq": "=", "ne": "<>", "lt": "<", "le": "<=", "gt": ">",
+            "ge": ">="}
+
+
+def predicate_to_sql(jit, closure, column):
+    """Compile a one-argument guest closure and render it as a SQL
+    expression over ``column``. Returns ``(sql_text, host_callable)``."""
+    compiled = jit.compile_closure(closure)
+    sql = _render_expr(compiled.ir, {("a1",): None}, column)
+    return sql, compiled
+
+
+def _render_expr(result, __, column):
+    blocks = result.blocks
+    if len(result.param_names) != 1:
+        raise CompilationError("SQL predicates take one column value")
+    param = result.param_names[0]
+
+    def rep(r, env):
+        if isinstance(r, Sym):
+            if r.name == param:
+                return column
+            if r.name in env:
+                return env[r.name]
+            raise CompilationError("SQL backend: unbound %s" % r.name)
+        if isinstance(r, ConstRep):
+            v = r.value
+            if v is None:
+                return "NULL"
+            if v is True:
+                return "TRUE"
+            if v is False:
+                return "FALSE"
+            if isinstance(v, str):
+                return "'%s'" % v.replace("'", "''")
+            return repr(v)
+        if isinstance(r, StaticRep):
+            raise CompilationError("SQL backend: heap object in predicate")
+        raise AssertionError(r)
+
+    def block_expr(bid, env):
+        block = blocks[bid]
+        env = dict(env)
+        for stmt in block.stmts:
+            env[stmt.sym.name] = stmt_expr(stmt, env)
+        term = block.terminator
+        if isinstance(term, Return):
+            return rep(term.value, env)
+        if isinstance(term, Jump):
+            for name, r in term.phi_assigns:
+                env[name] = rep(r, env)
+            return block_expr(term.target, env)
+        if isinstance(term, Branch):
+            cond = rep(term.cond, env)
+            env_t = dict(env)
+            for name, r in term.true_assigns:
+                env_t[name] = rep(r, env)
+            env_f = dict(env)
+            for name, r in term.false_assigns:
+                env_f[name] = rep(r, env)
+            t_expr = block_expr(term.true_target, env_t)
+            f_expr = block_expr(term.false_target, env_f)
+            # Recover boolean structure where possible. MiniJ's
+            # short-circuit operators evaluate to the operand value, so
+            # `a || b` arrives as CASE WHEN a THEN a ELSE b — fold it back.
+            if t_expr == "TRUE" and f_expr == "FALSE":
+                return "(%s)" % cond
+            if f_expr == "FALSE" or f_expr == cond:
+                return "(%s AND %s)" % (cond, t_expr)
+            if t_expr == "TRUE" or t_expr == cond:
+                return "(%s OR %s)" % (cond, f_expr)
+            return ("(CASE WHEN %s THEN %s ELSE %s END)"
+                    % (cond, t_expr, f_expr))
+        raise CompilationError("SQL backend: cannot translate %r" % (term,))
+
+    def stmt_expr(stmt, env):
+        op = stmt.op
+        if op in _SQL_OPS:
+            return "(%s %s %s)" % (rep(stmt.args[0], env), _SQL_OPS[op],
+                                   rep(stmt.args[1], env))
+        if op == "mod":
+            return "MOD(%s, %s)" % (rep(stmt.args[0], env),
+                                    rep(stmt.args[1], env))
+        if op == "neg":
+            return "(-%s)" % rep(stmt.args[0], env)
+        if op == "not":
+            return "(NOT %s)" % rep(stmt.args[0], env)
+        if op == "concat":
+            return "(%s || %s)" % (rep(stmt.args[0], env),
+                                   rep(stmt.args[1], env))
+        if op == "id":
+            return rep(stmt.args[0], env)
+        if op == "alen":
+            return "LENGTH(%s)" % rep(stmt.args[0], env)
+        raise CompilationError("SQL backend: cannot translate op %r "
+                               "(is the predicate pure arithmetic?)" % op)
+
+    # Entry block is the prologue jump.
+    return block_expr(result.entry_bid, {})
+
+
+class Table:
+    """A LINQ-style table handle: ``table[Item]("t_item")``."""
+
+    def __init__(self, db, name, jit):
+        self.db = db
+        self.name = name
+        self.jit = jit
+
+    def filter(self, column, guest_predicate):
+        """``data.filter(x => ...)`` over one column; the predicate is a
+        guest closure, lifted from bytecode."""
+        sql_expr, compiled = predicate_to_sql(self.jit, guest_predicate,
+                                              column)
+        return Query(self, [(column, sql_expr, compiled)])
+
+    def scan(self):
+        return Query(self, [])
+
+    def group_by(self, key_col):
+        """One GROUP BY round-trip building an index — the avalanche-safe
+        plan for nested lookups."""
+        sql = "SELECT %s, * FROM %s GROUP BY %s" % (key_col, self.name,
+                                                    key_col)
+        return self.db.execute_group_by(sql, self.name, key_col)
+
+
+class Query:
+    """A composable query; scans are cached so scalar follow-ups
+    (``count`` then ``sum``) reuse one round-trip instead of re-executing
+    (the paper's duplicate-execution problem)."""
+
+    def __init__(self, table, wheres, reuse=True):
+        self.table = table
+        self.wheres = wheres
+        self.reuse = reuse
+        self._cached_rows = None
+
+    def filter(self, column, guest_predicate):
+        sql_expr, compiled = predicate_to_sql(self.table.jit,
+                                              guest_predicate, column)
+        return Query(self.table, self.wheres + [(column, sql_expr,
+                                                 compiled)],
+                     reuse=self.reuse)
+
+    def where_sql(self):
+        if not self.wheres:
+            return ""
+        return " WHERE " + " AND ".join(expr for __, expr, __unused
+                                        in self.wheres)
+
+    def to_sql(self, select="*"):
+        return "SELECT %s FROM %s%s" % (select, self.table.name,
+                                        self.where_sql())
+
+    def _predicate(self):
+        if not self.wheres:
+            return None
+
+        def pred(row):
+            return all(bool(compiled(row[col]))
+                       for col, __, compiled in self.wheres)
+
+        return pred
+
+    def rows(self):
+        if self.reuse and self._cached_rows is not None:
+            return self._cached_rows
+        rows = self.table.db.execute_scan(self.to_sql(), self.table.name,
+                                          self._predicate())
+        if self.reuse:
+            self._cached_rows = rows
+        return rows
+
+    def count(self):
+        if self.reuse:
+            return len(self.rows())
+        return self.table.db.execute_scalar(
+            self.to_sql("COUNT(*)"), lambda: len(self._scan_fresh()))
+
+    def sum(self, column):
+        if self.reuse:
+            return sum(r[column] for r in self.rows())
+        return self.table.db.execute_scalar(
+            self.to_sql("SUM(%s)" % column),
+            lambda: sum(r[column] for r in self._scan_fresh()))
+
+    def _scan_fresh(self):
+        return [r for r in self.table.db.tables[self.table.name]
+                if self._predicate() is None or self._predicate()(r)]
+
+
+def nested_lookup_naive(outer_keys, inner_table, key_col):
+    """The query avalanche: one filter round-trip per outer element."""
+    results = {}
+    for key in outer_keys:
+        sql = ("SELECT * FROM %s WHERE %s = %r"
+               % (inner_table.name, key_col, key))
+        results[key] = inner_table.db.execute_scan(
+            sql, inner_table.name, lambda r, k=key: r[key_col] == k)
+    return results
+
+def nested_lookup_grouped(outer_keys, inner_table, key_col):
+    """Avalanche-avoiding plan: one GROUP BY, then in-memory lookups
+    (paper: "replace the nested filter call by an index lookup")."""
+    index = inner_table.group_by(key_col)
+    return {key: index.get(key, []) for key in outer_keys}

@@ -1,0 +1,49 @@
+"""A miniature database substrate for the SQL cross-compilation demo.
+
+Stores tables as lists of row dicts, executes the query plans produced by
+:mod:`repro.backends.sql`, and keeps a *query log* so tests can observe the
+paper's "query avalanche" effect (one round-trip per loop iteration) and
+its avoidance (a single grouped query).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class MiniDB:
+    def __init__(self):
+        self.tables = {}
+        self.query_log = []        # SQL text of every executed query
+
+    def create_table(self, name, rows):
+        self.tables[name] = [dict(r) for r in rows]
+
+    # -- plan execution (called by Query) ------------------------------------
+
+    def execute_scan(self, sql, table, predicate):
+        """Run a filter scan; logs the round-trip."""
+        self.query_log.append(sql)
+        rows = self.tables[table]
+        if predicate is None:
+            return list(rows)
+        return [r for r in rows if predicate(r)]
+
+    def execute_scalar(self, sql, value_fn):
+        self.query_log.append(sql)
+        return value_fn()
+
+    def execute_group_by(self, sql, table, key_col, predicate=None):
+        """One round-trip building an index (avalanche avoidance)."""
+        self.query_log.append(sql)
+        index = defaultdict(list)
+        for r in self.tables[table]:
+            if predicate is None or predicate(r):
+                index[r[key_col]].append(r)
+        return dict(index)
+
+    def trips(self):
+        return len(self.query_log)
+
+    def reset_log(self):
+        self.query_log = []

@@ -1,0 +1,21 @@
+"""MiniJVM bytecode: the guest instruction set Lancet interprets and compiles.
+
+This package plays the role of JVM bytecode in the paper. It is a
+dynamically-typed stack machine with JVM-flavoured structure: methods with
+local slots, an operand stack, classes with fields and virtual dispatch, and
+closures compiled to synthesized classes with an ``apply`` method.
+"""
+
+from repro.bytecode.opcodes import Op
+from repro.bytecode.instr import Instr
+from repro.bytecode.classfile import ClassFile, MethodInfo, FieldInfo
+from repro.bytecode.builder import MethodBuilder
+from repro.bytecode.assembler import assemble
+from repro.bytecode.disassembler import disassemble_class, disassemble_method
+from repro.bytecode.verifier import verify_class, verify_method
+
+__all__ = [
+    "Op", "Instr", "ClassFile", "MethodInfo", "FieldInfo", "MethodBuilder",
+    "assemble", "disassemble_class", "disassemble_method",
+    "verify_class", "verify_method",
+]

@@ -1,0 +1,159 @@
+"""Textual MiniJVM assembler.
+
+Grammar (line oriented; ``#`` starts a comment)::
+
+    class Point [extends Base]
+      field x
+      val field y
+      method init/2            # name/num_params; 'static method' for statics
+        load 0
+        load 1
+        putfield x
+        ret
+      end
+    end
+
+Operands: ints, floats, ``"strings"``, ``true``/``false``/``null``, label
+names (for jumps; define with ``name:`` on its own line), field/class names,
+and ``name argc`` / ``class name argc`` for invokes.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.bytecode.classfile import ClassFile, MethodInfo
+from repro.bytecode.instr import Instr
+from repro.bytecode.opcodes import Op
+from repro.errors import AssemblerError
+
+_OPS_BY_NAME = {op.name.lower(): op for op in Op}
+
+_TOKEN = re.compile(r'"(?:[^"\\]|\\.)*"|\S+')
+
+
+def _parse_literal(tok):
+    if tok.startswith('"'):
+        return tok[1:-1].replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+    if tok == "true":
+        return True
+    if tok == "false":
+        return False
+    if tok == "null":
+        return None
+    try:
+        return int(tok)
+    except ValueError:
+        pass
+    try:
+        return float(tok)
+    except ValueError:
+        raise AssemblerError("bad literal: %r" % tok)
+
+
+def assemble(source):
+    """Assemble ``source`` text into a list of :class:`ClassFile`."""
+    classes = []
+    cls = None
+    meth_lines = None
+    meth_header = None
+
+    for lineno, raw in enumerate(source.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        toks = _TOKEN.findall(line)
+        head = toks[0]
+
+        if meth_lines is not None:
+            if head == "end":
+                cls.add_method(_assemble_method(meth_header, meth_lines))
+                meth_lines = None
+            else:
+                meth_lines.append((lineno, toks))
+            continue
+
+        if head == "class":
+            if cls is not None:
+                raise AssemblerError("line %d: nested class" % lineno)
+            super_name = None
+            if len(toks) >= 4 and toks[2] == "extends":
+                super_name = toks[3]
+            cls = ClassFile(toks[1], super_name=super_name)
+        elif head == "end":
+            if cls is None:
+                raise AssemblerError("line %d: stray end" % lineno)
+            classes.append(cls)
+            cls = None
+        elif head == "field":
+            cls.add_field(toks[1])
+        elif head == "val" and len(toks) >= 3 and toks[1] == "field":
+            cls.add_field(toks[2], is_val=True)
+        elif head in ("method", "static"):
+            is_static = head == "static"
+            name_tok = toks[2] if is_static else toks[1]
+            if "/" not in name_tok:
+                raise AssemblerError("line %d: expected name/nparams" % lineno)
+            name, nparams = name_tok.rsplit("/", 1)
+            meth_header = (name, int(nparams), is_static)
+            meth_lines = []
+        else:
+            raise AssemblerError("line %d: unexpected %r" % (lineno, head))
+
+    if cls is not None or meth_lines is not None:
+        raise AssemblerError("unexpected end of input (missing 'end')")
+    return classes
+
+
+def _assemble_method(header, lines):
+    name, nparams, is_static = header
+    labels = {}
+    # First pass: find label definitions, count real instructions.
+    idx = 0
+    for lineno, toks in lines:
+        if len(toks) == 1 and toks[0].endswith(":"):
+            lbl = toks[0][:-1]
+            if lbl in labels:
+                raise AssemblerError("line %d: duplicate label %s" % (lineno, lbl))
+            labels[lbl] = idx
+        else:
+            idx += 1
+
+    code = []
+    for lineno, toks in lines:
+        if len(toks) == 1 and toks[0].endswith(":"):
+            continue
+        opname = toks[0].lower()
+        op = _OPS_BY_NAME.get(opname)
+        if op is None:
+            raise AssemblerError("line %d: unknown opcode %r" % (lineno, toks[0]))
+        args = toks[1:]
+        try:
+            arg = _decode_operand(op, args, labels)
+        except AssemblerError as exc:
+            raise AssemblerError("line %d: %s" % (lineno, exc))
+        code.append(Instr(op, arg, line=lineno))
+    return MethodInfo(name, nparams, code, is_static=is_static)
+
+
+def _decode_operand(op, args, labels):
+    if op is Op.CONST:
+        if not args:
+            raise AssemblerError("const needs a literal")
+        return _parse_literal(args[0])
+    if op in (Op.LOAD, Op.STORE, Op.ARRAY_LIT):
+        return int(args[0])
+    if op in (Op.JUMP, Op.JIF_TRUE, Op.JIF_FALSE):
+        tgt = args[0]
+        if tgt not in labels:
+            raise AssemblerError("unknown label %r" % tgt)
+        return labels[tgt]
+    if op in (Op.NEW, Op.GETFIELD, Op.PUTFIELD, Op.INSTANCEOF):
+        return args[0]
+    if op is Op.INVOKE:
+        return (args[0], int(args[1]))
+    if op is Op.INVOKE_STATIC:
+        return (args[0], args[1], int(args[2]))
+    if args:
+        raise AssemblerError("%s takes no operand" % op.name)
+    return None

@@ -1,0 +1,143 @@
+"""Fluent programmatic bytecode builder with symbolic labels.
+
+The MiniJ frontend and the tests use this to construct method bodies without
+tracking instruction indices by hand::
+
+    b = MethodBuilder("fact", num_params=1, is_static=True)
+    loop, done = b.new_label(), b.new_label()
+    ...
+    b.label(loop)
+    b.load(0).const(0).op(Op.GT).jif_false(done)
+    ...
+    method = b.build()
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.instr import Instr
+from repro.bytecode.opcodes import Op
+from repro.bytecode.classfile import MethodInfo
+from repro.errors import AssemblerError
+
+
+class Label:
+    """A symbolic jump target, resolved to an instruction index at build()."""
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name):
+        self.name = name
+        self.index = None
+
+    def __repr__(self):
+        return "Label(%s->%s)" % (self.name, self.index)
+
+
+class MethodBuilder:
+    """Accumulates instructions and resolves labels into a MethodInfo."""
+
+    def __init__(self, name, num_params, is_static=False):
+        self.name = name
+        self.num_params = num_params
+        self.is_static = is_static
+        self.code = []
+        self._labels = []
+        self._next_label = 0
+        self._next_slot = num_params + (0 if is_static else 1)
+        self.cur_line = None
+
+    # -- labels ---------------------------------------------------------------
+
+    def new_label(self, name=None):
+        if name is None:
+            name = "L%d" % self._next_label
+            self._next_label += 1
+        lbl = Label(name)
+        self._labels.append(lbl)
+        return lbl
+
+    def label(self, lbl):
+        """Bind ``lbl`` to the current position."""
+        if lbl.index is not None:
+            raise AssemblerError("label %s bound twice" % lbl.name)
+        lbl.index = len(self.code)
+        return self
+
+    # -- slots -----------------------------------------------------------------
+
+    def alloc_slot(self):
+        """Allocate a fresh local slot (for temporaries)."""
+        slot = self._next_slot
+        self._next_slot += 1
+        return slot
+
+    # -- emission ----------------------------------------------------------------
+
+    def emit(self, op, arg=None):
+        self.code.append(Instr(op, arg, line=self.cur_line))
+        return self
+
+    def op(self, opcode):
+        return self.emit(opcode)
+
+    def const(self, value):
+        return self.emit(Op.CONST, value)
+
+    def load(self, slot):
+        return self.emit(Op.LOAD, slot)
+
+    def store(self, slot):
+        return self.emit(Op.STORE, slot)
+
+    def jump(self, lbl):
+        return self.emit(Op.JUMP, lbl)
+
+    def jif_true(self, lbl):
+        return self.emit(Op.JIF_TRUE, lbl)
+
+    def jif_false(self, lbl):
+        return self.emit(Op.JIF_FALSE, lbl)
+
+    def new(self, class_name):
+        return self.emit(Op.NEW, class_name)
+
+    def getfield(self, name):
+        return self.emit(Op.GETFIELD, name)
+
+    def putfield(self, name):
+        return self.emit(Op.PUTFIELD, name)
+
+    def invoke(self, name, argc):
+        return self.emit(Op.INVOKE, (name, argc))
+
+    def invoke_static(self, class_name, name, argc):
+        return self.emit(Op.INVOKE_STATIC, (class_name, name, argc))
+
+    def ret(self):
+        return self.emit(Op.RET)
+
+    def ret_val(self):
+        return self.emit(Op.RET_VAL)
+
+    # -- finalization -----------------------------------------------------------
+
+    def build(self):
+        """Resolve labels and return the finished MethodInfo."""
+        for lbl in self._labels:
+            if lbl.index is None:
+                raise AssemblerError("label %s never bound" % lbl.name)
+        code = []
+        for ins in self.code:
+            if isinstance(ins.arg, Label):
+                ins = Instr(ins.op, ins.arg.index, line=ins.line)
+            code.append(ins)
+        # A method must not fall off the end; also give labels bound at the
+        # very end (e.g. a while-loop exit after a trailing back-jump) an
+        # instruction to land on.
+        label_at_end = any(lbl.index == len(code) for lbl in self._labels)
+        if (not code or label_at_end
+                or code[-1].op not in (Op.RET, Op.RET_VAL, Op.JUMP, Op.THROW)):
+            code.append(Instr(Op.RET))
+        return MethodInfo(self.name, self.num_params, code,
+                          is_static=self.is_static,
+                          num_locals=self._next_slot)

@@ -1,0 +1,66 @@
+"""Disassembler: ClassFile / MethodInfo back to readable text.
+
+Round-trips with :mod:`repro.bytecode.assembler` (modulo label names, which
+are regenerated as ``L<index>``).
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.opcodes import Op, BRANCH_OPS
+
+
+def _fmt_literal(v):
+    if v is True:
+        return "true"
+    if v is False:
+        return "false"
+    if v is None:
+        return "null"
+    if isinstance(v, str):
+        return '"%s"' % v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    return repr(v)
+
+
+def disassemble_method(method, indent="    "):
+    """Return assembler text for one method."""
+    targets = sorted({ins.arg for ins in method.code if ins.op in BRANCH_OPS})
+    label_of = {t: "L%d" % t for t in targets}
+    head = "%smethod %s/%d" % ("static " if method.is_static else "",
+                               method.name, method.num_params)
+    lines = [head]
+    for i, ins in enumerate(method.code):
+        if i in label_of:
+            lines.append("%s%s:" % (indent, label_of[i]))
+        lines.append(indent * 2 + _fmt_instr(ins, label_of))
+    lines.append("end")
+    return "\n".join(lines)
+
+
+def _fmt_instr(ins, label_of):
+    name = ins.op.name.lower()
+    if ins.op is Op.CONST:
+        return "%s %s" % (name, _fmt_literal(ins.arg))
+    if ins.op in BRANCH_OPS:
+        return "%s %s" % (name, label_of[ins.arg])
+    if ins.op is Op.INVOKE:
+        return "%s %s %d" % (name, ins.arg[0], ins.arg[1])
+    if ins.op is Op.INVOKE_STATIC:
+        return "%s %s %s %d" % (name, ins.arg[0], ins.arg[1], ins.arg[2])
+    if ins.arg is None:
+        return name
+    return "%s %s" % (name, ins.arg)
+
+
+def disassemble_class(cls):
+    """Return assembler text for a whole class."""
+    header = "class %s" % cls.name
+    if cls.super_name:
+        header += " extends %s" % cls.super_name
+    lines = [header]
+    for f in cls.fields.values():
+        lines.append("  %sfield %s" % ("val " if f.is_val else "", f.name))
+    for m in cls.methods.values():
+        body = disassemble_method(m)
+        lines.extend("  " + ln for ln in body.splitlines())
+    lines.append("end")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Instruction representation."""
+
+from __future__ import annotations
+
+from repro.bytecode.opcodes import Op, BRANCH_OPS, STACK_EFFECT
+
+
+class Instr:
+    """One MiniJVM instruction: an opcode and an optional operand.
+
+    Operands by opcode:
+
+    * ``CONST``: the literal value
+    * ``LOAD``/``STORE``: local slot index
+    * ``JUMP``/``JIF_*``: target instruction index
+    * ``NEW``/``INSTANCEOF``: class name
+    * ``GETFIELD``/``PUTFIELD``: field name
+    * ``INVOKE``: ``(method_name, argc)``
+    * ``INVOKE_STATIC``: ``(class_name, method_name, argc)``
+    * ``ARRAY_LIT``: element count
+    """
+
+    __slots__ = ("op", "arg", "line")
+
+    def __init__(self, op, arg=None, line=None):
+        self.op = op
+        self.arg = arg
+        self.line = line  # MiniJ source line, for diagnostics
+
+    def is_branch(self):
+        return self.op in BRANCH_OPS
+
+    def stack_effect(self):
+        """Return ``(pops, pushes)`` for this instruction."""
+        if self.op is Op.INVOKE:
+            __, argc = self.arg
+            return (argc + 1, 1)
+        if self.op is Op.INVOKE_STATIC:
+            __, __, argc = self.arg
+            return (argc, 1)
+        if self.op is Op.ARRAY_LIT:
+            return (self.arg, 1)
+        return STACK_EFFECT[self.op]
+
+    def __repr__(self):
+        if self.arg is None:
+            return "Instr(%s)" % self.op.name
+        return "Instr(%s, %r)" % (self.op.name, self.arg)
+
+    def __eq__(self, other):
+        return (isinstance(other, Instr) and self.op == other.op
+                and self.arg == other.arg)
+
+    def __hash__(self):
+        arg = self.arg
+        if isinstance(arg, list):
+            arg = tuple(arg)
+        return hash((self.op, arg))

@@ -1,0 +1,89 @@
+"""The MiniJVM instruction set.
+
+Operand stack effects are written ``before -- after`` with the stack top on
+the right, mirroring JVM documentation conventions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.IntEnum):
+    """MiniJVM opcodes."""
+
+    # -- constants and locals ------------------------------------------------
+    CONST = 1         # ``-- k``            operand: a literal (int/float/str/bool/None)
+    LOAD = 2          # ``-- v``            operand: local slot index
+    STORE = 3         # ``v --``            operand: local slot index
+
+    # -- operand stack shuffling ---------------------------------------------
+    POP = 10          # ``v --``
+    DUP = 11          # ``v -- v v``
+    SWAP = 12         # ``a b -- b a``
+
+    # -- arithmetic (numbers; ADD also concatenates strings) ------------------
+    ADD = 20          # ``a b -- a+b``
+    SUB = 21          # ``a b -- a-b``
+    MUL = 22          # ``a b -- a*b``
+    DIV = 23          # ``a b -- a/b``      truncating for int/int, float otherwise
+    MOD = 24          # ``a b -- a%b``      C-style remainder for ints
+    NEG = 25          # ``a -- -a``
+
+    # -- comparisons and logic -------------------------------------------------
+    EQ = 30           # ``a b -- a==b``
+    NE = 31
+    LT = 32
+    LE = 33
+    GT = 34
+    GE = 35
+    NOT = 36          # ``a -- !a``
+
+    # -- control flow ----------------------------------------------------------
+    JUMP = 40         # operand: target instruction index
+    JIF_TRUE = 41     # ``c --``            jump if truthy
+    JIF_FALSE = 42    # ``c --``            jump if falsy
+    RET = 43          # return null from the current method
+    RET_VAL = 44      # ``v --``            return v
+
+    # -- objects ----------------------------------------------------------------
+    NEW = 50          # ``-- obj``          operand: class name (fields null-initialized)
+    GETFIELD = 51     # ``obj -- v``        operand: field name
+    PUTFIELD = 52     # ``obj v --``        operand: field name
+    INSTANCEOF = 53   # ``obj -- bool``     operand: class name (subclass-aware)
+
+    # -- calls --------------------------------------------------------------------
+    INVOKE = 60       # ``recv a1..an -- r``   operand: (method name, argc); virtual dispatch
+    INVOKE_STATIC = 61  # ``a1..an -- r``      operand: (class name, method name, argc)
+
+    # -- arrays ----------------------------------------------------------------------
+    NEW_ARRAY = 70    # ``n -- arr``        array of n nulls
+    ALOAD = 71        # ``arr i -- v``
+    ASTORE = 72       # ``arr i v --``
+    ALEN = 73         # ``arr -- n``
+    ARRAY_LIT = 74    # ``v1..vn -- arr``   operand: n
+
+    # -- exceptions ---------------------------------------------------------------------
+    THROW = 80        # ``v --``            raise a guest exception carrying v
+
+
+# Opcodes that transfer control (used by block finding and the verifier).
+BRANCH_OPS = frozenset({Op.JUMP, Op.JIF_TRUE, Op.JIF_FALSE})
+TERMINATOR_OPS = frozenset({Op.JUMP, Op.RET, Op.RET_VAL, Op.THROW})
+
+# (pops, pushes) for fixed-arity opcodes; calls/array-lit handled specially.
+STACK_EFFECT = {
+    Op.CONST: (0, 1), Op.LOAD: (0, 1), Op.STORE: (1, 0),
+    Op.POP: (1, 0), Op.DUP: (1, 2), Op.SWAP: (2, 2),
+    Op.ADD: (2, 1), Op.SUB: (2, 1), Op.MUL: (2, 1), Op.DIV: (2, 1),
+    Op.MOD: (2, 1), Op.NEG: (1, 1),
+    Op.EQ: (2, 1), Op.NE: (2, 1), Op.LT: (2, 1), Op.LE: (2, 1),
+    Op.GT: (2, 1), Op.GE: (2, 1), Op.NOT: (1, 1),
+    Op.JUMP: (0, 0), Op.JIF_TRUE: (1, 0), Op.JIF_FALSE: (1, 0),
+    Op.RET: (0, 0), Op.RET_VAL: (1, 0),
+    Op.NEW: (0, 1), Op.GETFIELD: (1, 1), Op.PUTFIELD: (2, 0),
+    Op.INSTANCEOF: (1, 1),
+    Op.NEW_ARRAY: (1, 1), Op.ALOAD: (2, 1), Op.ASTORE: (3, 0),
+    Op.ALEN: (1, 1),
+    Op.THROW: (1, 0),
+}

@@ -1,0 +1,112 @@
+"""Bytecode verifier.
+
+Checks, per method:
+
+* jump targets are in range,
+* local slot indices are in range,
+* the operand stack depth is consistent at every join point (a classfile
+  invariant the staged interpreter relies on — it allocates one variable per
+  stack slot at block entry),
+* the stack never underflows and is empty-compatible at returns,
+* execution cannot fall off the end of the code.
+
+This mirrors the role of the JVM's bytecode verifier, scaled to MiniJVM.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.opcodes import Op
+from repro.errors import VerifyError
+
+
+def verify_method(method):
+    """Verify one method; raises :class:`VerifyError` on violations."""
+    code = method.code
+    if not code:
+        raise VerifyError("%s: empty code" % method.qualified_name)
+    last = code[-1]
+    if last.op not in (Op.RET, Op.RET_VAL, Op.JUMP, Op.THROW):
+        raise VerifyError("%s: execution can fall off the end"
+                          % method.qualified_name)
+
+    depth_at = {0: 0}
+    worklist = [0]
+    seen = set()
+    while worklist:
+        start = worklist.pop()
+        if (start, depth_at[start]) in seen:
+            continue
+        seen.add((start, depth_at[start]))
+        depth = depth_at[start]
+        i = start
+        while True:
+            if i >= len(code):
+                raise VerifyError("%s: fell off the end at %d"
+                                  % (method.qualified_name, i))
+            ins = code[i]
+            _check_operand(method, i, ins)
+            pops, pushes = ins.stack_effect()
+            if depth < pops:
+                raise VerifyError("%s: stack underflow at %d (%s)"
+                                  % (method.qualified_name, i, ins))
+            depth = depth - pops + pushes
+            if ins.op in (Op.RET, Op.RET_VAL, Op.THROW):
+                if depth != 0:
+                    raise VerifyError(
+                        "%s: %d values left on stack at return (index %d)"
+                        % (method.qualified_name, depth, i))
+                break
+            if ins.op in (Op.JUMP, Op.JIF_TRUE, Op.JIF_FALSE):
+                _merge_depth(method, depth_at, ins.arg, depth, worklist)
+                if ins.op is Op.JUMP:
+                    break
+            i += 1
+            _merge_depth(method, depth_at, i, depth, worklist, enqueue=False)
+    return True
+
+
+def _merge_depth(method, depth_at, target, depth, worklist, enqueue=True):
+    if target >= len(method.code) or target < 0:
+        raise VerifyError("%s: jump target %d out of range"
+                          % (method.qualified_name, target))
+    if target in depth_at:
+        if depth_at[target] != depth:
+            raise VerifyError(
+                "%s: inconsistent stack depth at %d (%d vs %d)"
+                % (method.qualified_name, target, depth_at[target], depth))
+    else:
+        depth_at[target] = depth
+        if enqueue:
+            worklist.append(target)
+
+
+def _check_operand(method, i, ins):
+    if ins.op in (Op.LOAD, Op.STORE):
+        if not isinstance(ins.arg, int) or not 0 <= ins.arg < method.num_locals:
+            raise VerifyError("%s: bad local slot %r at %d"
+                              % (method.qualified_name, ins.arg, i))
+    elif ins.op in (Op.JUMP, Op.JIF_TRUE, Op.JIF_FALSE):
+        if not isinstance(ins.arg, int):
+            raise VerifyError("%s: unresolved label at %d"
+                              % (method.qualified_name, i))
+    elif ins.op is Op.INVOKE:
+        if (not isinstance(ins.arg, tuple) or len(ins.arg) != 2
+                or not isinstance(ins.arg[1], int) or ins.arg[1] < 0):
+            raise VerifyError("%s: bad INVOKE operand at %d"
+                              % (method.qualified_name, i))
+    elif ins.op is Op.INVOKE_STATIC:
+        if (not isinstance(ins.arg, tuple) or len(ins.arg) != 3
+                or not isinstance(ins.arg[2], int) or ins.arg[2] < 0):
+            raise VerifyError("%s: bad INVOKE_STATIC operand at %d"
+                              % (method.qualified_name, i))
+    elif ins.op is Op.ARRAY_LIT:
+        if not isinstance(ins.arg, int) or ins.arg < 0:
+            raise VerifyError("%s: bad ARRAY_LIT count at %d"
+                              % (method.qualified_name, i))
+
+
+def verify_class(cls):
+    """Verify every method of ``cls``."""
+    for m in cls.methods.values():
+        verify_method(m)
+    return True

@@ -1,0 +1,1 @@
+"""The Lancet core: staged interpretation + abstract interpretation."""

@@ -1,0 +1,131 @@
+"""Deoptimization metadata and frame reconstruction.
+
+Compiled code carries, for every guard and explicit ``slowpath``/
+``fastpath`` site, a description of the interpreter state to rebuild: a
+chain of frame templates whose slots are either live compiled values,
+constants, statics, or *virtual objects* (scalar-replaced allocations that
+must be rematerialized on deopt — the same trick Graal uses).
+
+On a guard failure the compiled function raises :class:`DeoptException`;
+the wrapper rebuilds :class:`InterpreterFrame` objects and resumes the
+interpreter at the recorded bytecode indices (OSR-out). ``fastpath``
+instead recompiles the continuation with the live values as constants.
+"""
+
+from __future__ import annotations
+
+from repro.interp.frame import InterpreterFrame
+
+
+class DeoptException(Exception):
+    """Raised by compiled code when a speculation fails."""
+
+    __slots__ = ("meta_id", "lives")
+
+    def __init__(self, meta_id, lives):
+        self.meta_id = meta_id
+        self.lives = lives
+        super().__init__("deopt #%d" % meta_id)
+
+
+# -- slot templates ----------------------------------------------------------
+# ("live", i)          -> lives[i]
+# ("const", v)         -> v
+# ("static", obj)      -> obj
+# ("virtual", vobj)    -> rematerialized scalar-replaced object
+
+
+class VirtualObject:
+    """A scalar-replaced allocation recorded in deopt metadata."""
+
+    __slots__ = ("cls", "fields")
+
+    def __init__(self, cls, fields):
+        self.cls = cls          # RtClass
+        self.fields = fields    # name -> slot template
+
+
+class VirtualArray:
+    """A scalar-replaced array recorded in deopt metadata."""
+
+    __slots__ = ("elems",)
+
+    def __init__(self, elems):
+        self.elems = elems      # list of slot templates
+
+
+class FrameTemplate:
+    """One interpreter frame to rebuild: method, resume bci, slot templates."""
+
+    __slots__ = ("method", "bci", "locals_t", "stack_t")
+
+    def __init__(self, method, bci, locals_t, stack_t):
+        self.method = method
+        self.bci = bci
+        self.locals_t = locals_t
+        self.stack_t = stack_t
+
+
+class DeoptMeta:
+    """A full deopt site: frame templates from root (caller) to leaf.
+
+    ``kind`` selects the wrapper's reaction: ``interpret`` resumes the
+    interpreter; ``recompile`` additionally invalidates the compiled code
+    (``stable`` guards); ``osr``/``cont`` are used by ``fastpath`` and
+    reified continuations.
+    """
+
+    __slots__ = ("frames", "reason", "kind")
+
+    def __init__(self, frames, reason="", kind="interpret"):
+        self.frames = frames
+        self.reason = reason
+        self.kind = kind
+
+
+def _resolve(template, lives, memo):
+    kind = template[0]
+    if kind == "live":
+        return lives[template[1]]
+    if kind == "const":
+        return template[1]
+    if kind == "static":
+        return template[1]
+    if kind == "virtual":
+        vobj = template[1]
+        hit = memo.get(id(vobj))
+        if hit is not None:
+            return hit
+        if isinstance(vobj, VirtualArray):
+            arr = [None] * len(vobj.elems)
+            memo[id(vobj)] = arr
+            for i, t in enumerate(vobj.elems):
+                arr[i] = _resolve(t, lives, memo)
+            return arr
+        from repro.runtime.objects import Obj
+        obj = Obj(vobj.cls, {})
+        memo[id(vobj)] = obj
+        for name, t in vobj.fields.items():
+            obj.fields[name] = _resolve(t, lives, memo)
+        # Null-fill undeclared-but-present fields.
+        for name in vobj.cls.all_fields:
+            obj.fields.setdefault(name, None)
+        return obj
+    raise AssertionError("bad slot template %r" % (template,))
+
+
+def reconstruct_frames(meta, lives):
+    """Rebuild the interpreter frame chain for ``meta``; returns the leaf
+    frame (whose parent links reach the root)."""
+    memo = {}
+    parent = None
+    leaf = None
+    for ft in meta.frames:
+        frame = InterpreterFrame(ft.method, parent=parent)
+        for i, t in enumerate(ft.locals_t):
+            frame.set_local(i, _resolve(t, lives, memo))
+        frame.set_stack([_resolve(t, lives, memo) for t in ft.stack_t])
+        frame.bci = ft.bci
+        parent = frame
+        leaf = frame
+    return leaf

@@ -1,0 +1,44 @@
+"""Compilation options.
+
+The paper's stance is "you get what you ask for": these knobs are explicit
+program-facing policy, not hidden heuristics. Defaults follow the paper
+(inline non-recursive methods always, fold final fields, etc.).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class CompileOptions:
+    # Inlining policy: 'always' | 'nonrec' | 'never' (paper 3.1). Lancet
+    # "will always try to inline non-recursive functions, unless
+    # instructed otherwise".
+    inline_policy: str = "nonrec"
+    max_inline_depth: int = 120
+
+    # Loop handling: natural unrolling happens only under an `unroll`
+    # dynamic scope; this caps duplicated loop versions.
+    unroll_limit: int = 1024
+
+    # Fixpoint engine limits.
+    max_passes: int = 60
+    max_blocks: int = 20000
+    max_stmts: int = 2_000_000
+
+    # Partial-evaluation aggressiveness.
+    fold_val_fields: bool = True       # read final fields of statics
+    assume_static_arrays: bool = True  # fold reads of pre-existing arrays
+    speculate_stable: bool = True      # fold @stable fields + invalidation
+
+    # Demanded-analysis switches (also reachable via Lancet.checkNoAlloc /
+    # Lancet.checkNoTaint dynamic scopes).
+    check_noalloc: bool = False
+    check_taint: bool = False
+
+    # Delite accelerator-op fusion (paper 3.4); off for ablations.
+    delite_fusion: bool = True
+
+    # Treat compilation warnings as errors.
+    warnings_as_errors: bool = False

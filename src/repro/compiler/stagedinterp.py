@@ -1,0 +1,1466 @@
+"""The staged interpreter: Lancet's core (paper sections 2.1–2.3).
+
+This is the bytecode interpreter of :mod:`repro.interp` with its value
+domain swapped from concrete values to staged values (``Rep``), exactly as
+the paper describes: the frame layout, operand-stack handling, and dispatch
+logic execute *statically* at compile time; only primitive operations and
+heap accesses become residual code.
+
+Layered on top is the abstract interpreter (section 2.2): every staged
+value carries an ``AbsVal`` fact, operations fold when their operands are
+static, and control-flow joins compute least upper bounds, iterating to a
+fixpoint around loops ("dataflow analysis interleaved with
+transformation").
+
+Mechanically, compilation explores a graph of *machine states* (an
+inline-chain of abstract frames plus an abstract heap of scalar-replaced
+allocations):
+
+* straight-line control flow and calls chosen for inlining are absorbed
+  into the current block;
+* branches whose condition folds to a constant disappear;
+* transfers to bytecode join points split blocks. The first edge to a join
+  creates a single-predecessor continuation block (which may freely read
+  the predecessor's symbols and receive scalar-replaced objects); a second
+  edge converts it to a *merge block* with explicit block parameters, and
+  the whole compilation restarts with the widened entry state. Passes
+  repeat until no entry state changes — the fixpoint of section 2.2.
+* under an ``unroll`` dynamic scope, repeated arrivals at a loop header
+  with fully-static state clone the header instead of widening
+  (polyvariant specialization — this is how loops over frozen data unroll).
+
+JIT macros (section 2.3) intercept calls before native/guest dispatch and
+may return staged values or directives (inline-this, guard, slowpath,
+fastpath, return) — see :mod:`repro.macros.api`.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+
+from repro.absint.absval import (Const, Partial, PartialArray, Static,
+                                 Unknown, UNKNOWN, lub, merge_type_hints)
+from repro.bytecode.opcodes import Op
+from repro.compiler.blocks import join_bcis
+from repro.compiler.deopt import (DeoptMeta, FrameTemplate, VirtualArray,
+                                  VirtualObject)
+from repro.compiler.liveness import live_at
+from repro.compiler.options import CompileOptions
+from repro.errors import (CompilationError, GuestError, LinkError,
+                          MaterializeError, UnrollError)
+from repro.lms.ir import Branch, Deopt, Effect, Jump, OsrCompile, Return
+from repro.lms.rep import ConstRep, StaticRep, Sym
+from repro.lms.staging import StagingContext, _Statics
+from repro.macros.api import (FastpathDirective, MacroContext, MacroInline,
+                              ReturnDirective, SlowpathDirective)
+from repro.runtime import ops as guest_ops
+from repro.runtime.natives import lookup_native
+from repro.runtime.objects import Obj
+
+_END = "end"
+_CONTINUE = "continue"
+
+_DIRECTIVE_SCOPES = {
+    "inlineAlways": {"inline": "always"},
+    "inlineNever": {"inline": "never"},
+    "inlineNonRec": {"inline": "nonrec"},
+    "unrollTopLevel": {"unroll": True},
+    "unroll": {"unroll": True},
+    "checkNoAlloc": {"noalloc": True},
+    "checkNoTaint": {"checktaint": True},
+}
+
+
+class AbstractFrame:
+    """An interpreter frame over staged values (paper Fig. 7: the locals
+    array becomes ``Array[Rep[Object]]``)."""
+
+    __slots__ = ("method", "parent", "bci", "locals", "tos", "scope",
+                 "on_return")
+
+    def __init__(self, method, parent=None, scope=None):
+        self.method = method
+        self.parent = parent
+        self.bci = 0
+        self.locals = [ConstRep(None)] * method.frame_slots()
+        self.tos = method.num_locals
+        self.scope = scope if scope is not None else {}
+        self.on_return = None
+
+    def push(self, rep):
+        if self.tos >= len(self.locals):
+            self.locals.append(rep)
+        else:
+            self.locals[self.tos] = rep
+        self.tos += 1
+
+    def pop(self):
+        self.tos -= 1
+        return self.locals[self.tos]
+
+    def stack_reps(self):
+        return self.locals[self.method.num_locals:self.tos]
+
+    def copy_chain(self):
+        parent = self.parent.copy_chain() if self.parent is not None else None
+        f = AbstractFrame.__new__(AbstractFrame)
+        f.method = self.method
+        f.parent = parent
+        f.bci = self.bci
+        f.locals = list(self.locals)
+        f.tos = self.tos
+        f.scope = dict(self.scope)
+        f.on_return = self.on_return
+        return f
+
+    def chain(self):
+        """Frames from root to this leaf."""
+        frames = []
+        f = self
+        while f is not None:
+            frames.append(f)
+            f = f.parent
+        frames.reverse()
+        return frames
+
+
+class HeapEntry:
+    """A scalar-replaced allocation: object or array."""
+
+    __slots__ = ("kind", "cls", "fields", "elems", "materialized")
+
+    def __init__(self, kind, cls=None, fields=None, elems=None,
+                 materialized=False):
+        self.kind = kind            # 'obj' | 'arr'
+        self.cls = cls
+        self.fields = fields if fields is not None else {}
+        self.elems = elems
+        self.materialized = materialized
+
+    def copy(self):
+        return HeapEntry(self.kind, self.cls,
+                         dict(self.fields) if self.fields is not None else None,
+                         list(self.elems) if self.elems is not None else None,
+                         self.materialized)
+
+
+class MachineState:
+    """Leaf abstract frame (chain via parents) + abstract heap."""
+
+    __slots__ = ("frame", "heap")
+
+    def __init__(self, frame, heap=None):
+        self.frame = frame
+        self.heap = heap if heap is not None else {}
+
+    def copy(self):
+        return MachineState(self.frame.copy_chain(),
+                            {k: e.copy() for k, e in self.heap.items()})
+
+    def key(self):
+        parts = []
+        f = self.frame
+        while f is not None:
+            parts.append((id(f.method), f.bci))
+            f = f.parent
+        return tuple(parts)
+
+
+class MergeInfo:
+    """Persistent (across passes) facts about one reachable program point."""
+
+    __slots__ = ("bid", "mode", "lattice", "shape")
+
+    def __init__(self, bid):
+        self.bid = bid
+        self.mode = "single"
+        self.lattice = None       # list of slot-lattice entries (merge mode)
+        self.shape = None         # representative state (frame shape/scopes)
+
+
+class CompileResult:
+    """Everything the JIT driver needs to finish a unit."""
+
+    def __init__(self, blocks, entry_bid, entry_assigns, param_names, metas,
+                 statics, stable_deps, warnings, leaks, noalloc_sites):
+        self.blocks = blocks
+        self.entry_bid = entry_bid
+        self.entry_assigns = entry_assigns
+        self.param_names = param_names
+        self.metas = metas
+        self.statics = statics
+        self.stable_deps = stable_deps
+        self.warnings = warnings
+        self.leaks = leaks
+        self.noalloc_sites = noalloc_sites
+
+
+class StagedInterpreter:
+    """Compiles one unit (a guest closure/method under given abstract
+    arguments) to a CFG of staged IR."""
+
+    def __init__(self, vm, macros, options=None):
+        self.vm = vm
+        self.linker = vm.linker
+        self.macros = macros
+        self.options = options or CompileOptions()
+        # Persistent across passes:
+        self.statics = _Statics()
+        self.merge_infos = {}
+        self._next_bid = 0
+        self.stable_deps = []          # (obj, field_name)
+        # Static arrays the compiled code writes (or passes to residual
+        # calls): their element reads must not fold. Discovered writes
+        # trigger another pass so earlier folds get undone.
+        self._written_statics = set()
+        # Per pass:
+        self.ctx = None
+        self._pass_changed = False
+        self._reached_count = None
+        self._enqueued = None
+        self._generated = None
+        self._single_entries = None
+        self._pass_versions = None
+        self._worklist = None
+        self._leaks = []
+        self._noalloc_sites = []
+        self._stmt_budget = 0
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def compile_unit(self, build_entry_state, param_names):
+        """Run generation passes to fixpoint. ``build_entry_state()``
+        constructs a fresh entry state (same shape every pass)."""
+        entry_bid = None
+        entry_assigns = []
+        for pass_num in range(self.options.max_passes):
+            self.ctx = StagingContext(statics=self.statics)
+            self._pass_changed = False
+            self._reached_count = {}
+            self._enqueued = set()
+            self._generated = set()
+            self._single_entries = {}
+            self._pass_versions = {}
+            self._worklist = deque()
+            self._leaks = []
+            self._noalloc_sites = []
+            self._stmt_budget = self.options.max_stmts
+            self.stable_deps = []
+            self._fresh_arrays = set()
+
+            entry_state = build_entry_state()
+            # Seed abstract facts for the entry parameter syms.
+            prologue = self.ctx.new_block(self._bid_for_prologue())
+            self.ctx.set_current(prologue)
+            entry_bid, entry_assigns = self.reach(entry_state)
+            prologue.terminator = Jump(entry_bid, entry_assigns)
+
+            while self._worklist:
+                bid, state, params = self._worklist.popleft()
+                self._generate_block(bid, state, params)
+
+            if not self._pass_changed:
+                break
+        else:
+            raise CompilationError(
+                "compilation did not converge after %d passes"
+                % self.options.max_passes)
+
+        blocks = self.ctx.blocks
+        return CompileResult(
+            blocks=blocks,
+            entry_bid=self._prologue_bid,
+            entry_assigns=entry_assigns,
+            param_names=param_names,
+            metas=self.ctx.deopt_metas,
+            statics=self.statics,
+            stable_deps=self.stable_deps,
+            warnings=self.ctx.warnings,
+            leaks=self._leaks,
+            noalloc_sites=self._noalloc_sites,
+        )
+
+    def _bid_for_prologue(self):
+        if not hasattr(self, "_prologue_bid"):
+            self._prologue_bid = self._alloc_bid()
+        return self._prologue_bid
+
+    def _alloc_bid(self):
+        bid = self._next_bid
+        self._next_bid += 1
+        return bid
+
+    # ------------------------------------------------------------------
+    # Abstract facts
+    # ------------------------------------------------------------------
+
+    def eval_abs(self, state, rep):
+        """``evalA`` with scalar-replacement awareness."""
+        if isinstance(rep, Sym):
+            entry = state.heap.get(rep.name)
+            if entry is not None and not entry.materialized:
+                if entry.kind == "obj":
+                    return Partial(entry.cls, entry.fields)
+                return PartialArray(entry.elems)
+        return self.ctx.eval_abs(rep)
+
+    def eval_m(self, state, rep, _memo=None):
+        """``evalM``: materialize a staged value to a concrete one."""
+        if _memo is None:
+            _memo = {}
+        if isinstance(rep, Sym) and rep.name in _memo:
+            return _memo[rep.name]
+        av = self.eval_abs(state, rep)
+        if isinstance(av, Const):
+            return av.value
+        if isinstance(av, Static):
+            return av.obj
+        if isinstance(av, Partial):
+            obj = Obj(av.cls, {})
+            _memo[rep.name] = obj
+            for name in av.cls.all_fields:
+                obj.fields[name] = None
+            for name, frep in av.fields.items():
+                obj.fields[name] = self.eval_m(state, frep, _memo)
+            return obj
+        if isinstance(av, PartialArray):
+            arr = []
+            _memo[rep.name] = arr
+            arr.extend(self.eval_m(state, e, _memo) for e in av.elems)
+            return arr
+        raise MaterializeError("cannot materialize %r (%r)" % (rep, av))
+
+    def static_value(self, state, rep):
+        """Concrete value of a Const/Static rep, or a _NoValue marker."""
+        av = self.eval_abs(state, rep)
+        if isinstance(av, Const):
+            return av.value
+        if isinstance(av, Static):
+            return av.obj
+        return _NO_VALUE
+
+    # ------------------------------------------------------------------
+    # Emission helpers
+    # ------------------------------------------------------------------
+
+    def emit_flags(self, state):
+        scope = state.frame.scope
+        flags = {}
+        if scope.get("noalloc") or self.options.check_noalloc:
+            flags["noalloc"] = True
+        if scope.get("checktaint") or self.options.check_taint:
+            flags["checktaint"] = True
+        return flags
+
+    def emit(self, state, op, args, effect=Effect.PURE, flags=None,
+             absval=None, taint=None):
+        if self._stmt_budget <= 0:
+            raise CompilationError("statement budget exhausted "
+                                   "(max_stmts=%d)" % self.options.max_stmts)
+        self._stmt_budget -= 1
+        merged = self.emit_flags(state)
+        if flags:
+            merged.update(flags)
+        if merged.get("noalloc"):
+            allocating = (effect in (Effect.ALLOC, Effect.CALL)
+                          or op in ("new", "new_array", "array_lit")
+                          or (op == "native" and args[0].allocates))
+            if allocating:
+                self._noalloc_sites.append(
+                    "%s in %s" % (op, state.frame.method.qualified_name))
+            elif effect is Effect.GUARD:
+                # "the code must not contain any deoptimization points"
+                self._noalloc_sites.append(
+                    "deoptimization point in %s"
+                    % state.frame.method.qualified_name)
+        if effect in (Effect.CALL, Effect.IO):
+            # Residual calls may mutate any pre-existing object.
+            self._forward.clear()
+        self._dead_store_bookkeeping(op, args, effect, merged)
+        sym = self.ctx.emit(op, args, effect=effect, flags=merged,
+                            absval=absval, taint=taint)
+        self._record_pending_store(op, args, merged)
+        return sym
+
+    def _record_pending_store(self, op, args, flags):
+        block = self.ctx.current_block
+        if not block.stmts:
+            return
+        stmt = block.stmts[-1]
+        if stmt.op != op:
+            return
+        if op == "astore" and flags.get("fast") and "static_id" in flags \
+                and isinstance(args[1], ConstRep):
+            self._pending_arr_stores[(flags["static_id"],
+                                      args[1].value)] = stmt
+        elif op == "putfield" and flags.get("objfast") \
+                and "static_id" in flags:
+            self._pending_field_stores[(flags["static_id"], args[1])] = stmt
+
+    def _dead_store_bookkeeping(self, op, args, effect, flags):
+        """Dead-store elimination for forwarded stores to pre-existing
+        arrays/objects: a fast store overwritten before any potentially
+        aliasing read, call, or deopt point is removed."""
+        arr_pending = self._pending_arr_stores
+        field_pending = self._pending_field_stores
+        if effect in (Effect.CALL, Effect.IO, Effect.GUARD):
+            arr_pending.clear()
+            field_pending.clear()
+            return
+        if op == "astore":
+            if flags.get("fast") and "static_id" in flags \
+                    and isinstance(args[1], ConstRep):
+                key = (flags["static_id"], args[1].value)
+                old = arr_pending.pop(key, None)
+                if old is not None:
+                    try:
+                        self.ctx.current_block.stmts.remove(old)
+                    except ValueError:
+                        pass
+            else:
+                arr_pending.clear()
+        elif op == "aload":
+            if flags.get("fast"):
+                pass  # same-key loads were forwarded; distinct keys are safe
+            elif flags.get("known_arr") and isinstance(args[0], Sym) \
+                    and args[0].name in self._fresh_arrays:
+                pass  # a freshly-allocated array cannot alias a static
+            else:
+                arr_pending.clear()
+        elif op == "putfield":
+            if flags.get("objfast") and "static_id" in flags:
+                key = (flags["static_id"], args[1])
+                old = field_pending.pop(key, None)
+                if old is not None:
+                    try:
+                        self.ctx.current_block.stmts.remove(old)
+                    except ValueError:
+                        pass
+            else:
+                field_pending.clear()
+        elif op == "getfield":
+            if not (flags.get("objfast") and "static_id" in flags):
+                field_pending.clear()
+
+    def emit_native(self, state, nat, args):
+        if nat.pure:
+            effect = Effect.ALLOC if nat.allocates else Effect.PURE
+        elif nat.calls_guest:
+            effect = Effect.CALL
+        else:
+            effect = Effect.IO
+        for a in args:
+            self.escape(state, a)
+        if effect in (Effect.IO, Effect.CALL):
+            for a in args:
+                self._note_static_write(state, a)
+            self._check_taint_sink(state, args,
+                                   "native %s.%s" % (nat.class_name, nat.name))
+        sym = self.emit(state, "native", (nat,) + tuple(args), effect=effect,
+                        absval=Unknown(ty=nat.result_ty,
+                                       nonnull=nat.result_ty is not None))
+        if nat.allocates:
+            self._fresh_arrays.add(sym.name)
+        return sym
+
+    def _check_taint_sink(self, state, args, what):
+        if not (state.frame.scope.get("checktaint")
+                or self.options.check_taint):
+            return
+        for a in args:
+            if self.ctx.is_tainted(a):
+                self._leaks.append("tainted value %r flows into %s" % (a, what))
+
+    # ------------------------------------------------------------------
+    # Scalar replacement / escapes
+    # ------------------------------------------------------------------
+
+    def escape(self, state, rep):
+        """Materialize a scalar-replaced allocation (and everything it
+        references) because it becomes visible to residual code."""
+        if not isinstance(rep, Sym):
+            return
+        entry = state.heap.get(rep.name)
+        if entry is None or entry.materialized:
+            return
+        entry.materialized = True
+        flags = self.emit_flags(state)
+        if flags.get("noalloc"):
+            self._noalloc_sites.append(
+                "materialized allocation in %s"
+                % state.frame.method.qualified_name)
+        block = self.ctx.current_block
+        if entry.kind == "obj":
+            from repro.lms.ir import Stmt
+            block.stmts.append(Stmt(rep, "new",
+                                    (self.ctx.lift_static(entry.cls),),
+                                    Effect.ALLOC, flags))
+            self.ctx.abs[rep.name] = Unknown(ty="obj:%s" % entry.cls.name,
+                                             nonnull=True)
+            for fname in entry.cls.all_fields:
+                frep = entry.fields.get(fname, ConstRep(None))
+                self.escape(state, frep)
+                self.emit(state, "putfield", (rep, fname, frep),
+                          effect=Effect.WRITE, flags={"objfast": True})
+        else:
+            for e in entry.elems:
+                self.escape(state, e)
+            from repro.lms.ir import Stmt
+            block.stmts.append(Stmt(rep, "array_lit", tuple(entry.elems),
+                                    Effect.ALLOC, flags))
+            self.ctx.abs[rep.name] = Unknown(ty="arr", nonnull=True)
+
+    # ------------------------------------------------------------------
+    # Deopt metadata
+    # ------------------------------------------------------------------
+
+    def snapshot(self, state, extra_stack=(), kind="interpret", reason=""):
+        """Build deopt metadata for the current state; returns
+        ``(meta_id, live_reps)``. ``extra_stack`` appends slot templates
+        (e.g. the intercepted call's result) to the leaf frame's stack."""
+        lives = []
+        live_index = {}
+        vmemo = {}
+
+        def template(rep):
+            if isinstance(rep, ConstRep):
+                return ("const", rep.value)
+            if isinstance(rep, StaticRep):
+                return ("static", rep.obj)
+            entry = state.heap.get(rep.name)
+            if entry is not None and not entry.materialized:
+                hit = vmemo.get(rep.name)
+                if hit is not None:
+                    return ("virtual", hit)
+                if entry.kind == "obj":
+                    vobj = VirtualObject(entry.cls, {})
+                    vmemo[rep.name] = vobj
+                    for fname, frep in entry.fields.items():
+                        vobj.fields[fname] = template(frep)
+                else:
+                    vobj = VirtualArray([None] * len(entry.elems))
+                    vmemo[rep.name] = vobj
+                    for i, erep in enumerate(entry.elems):
+                        vobj.elems[i] = template(erep)
+                return ("virtual", vobj)
+            idx = live_index.get(rep.name)
+            if idx is None:
+                idx = len(lives)
+                live_index[rep.name] = idx
+                lives.append(rep)
+            return ("live", idx)
+
+        frames = []
+        for f in state.frame.chain():
+            live_slots = live_at(f.method, f.bci)
+            locals_t = []
+            for i in range(f.method.num_locals):
+                if i in live_slots:
+                    locals_t.append(template(f.locals[i]))
+                else:
+                    locals_t.append(("const", None))
+            stack_t = [template(r) for r in f.stack_reps()]
+            if f is state.frame:
+                for entry in extra_stack:
+                    if entry[0] == "rep":
+                        stack_t.append(template(entry[1]))
+                    else:
+                        stack_t.append(entry)
+            frames.append(FrameTemplate(f.method, f.bci, locals_t, stack_t))
+        meta = DeoptMeta(frames, reason=reason)
+        meta.kind = kind
+        meta_id = self.ctx.add_deopt_meta(meta)
+        return meta_id, lives
+
+    def emit_guard(self, state, cond_rep, result, kind="interpret",
+                   expect=True):
+        """Emit a guard; ``result`` (a Rep, or a constant) is what the
+        intercepted call evaluates to on the deoptimized path."""
+        from repro.lms.rep import Rep
+        if isinstance(result, Rep):
+            extra = (("rep", result),)
+        else:
+            extra = (("const", result),)
+        meta_id, lives = self.snapshot(state, extra_stack=extra, kind=kind,
+                                       reason="guard")
+        op = "guard" if expect else "guard_not"
+        return self.emit(state, op, (cond_rep, meta_id) + tuple(lives),
+                         effect=Effect.GUARD)
+
+    def make_continuation(self, state):
+        """Reify the current continuation as a runtime-callable closure
+        (``shiftR``): invoking it with a value resumes the interpreter at
+        this point with the value pushed."""
+        meta_id, lives = self.snapshot(state, kind="cont", reason="shiftR")
+        return self.emit(state, "make_cont", (meta_id,) + tuple(lives),
+                         effect=Effect.ALLOC, absval=UNKNOWN)
+
+    # ------------------------------------------------------------------
+    # Reaching program points (merging / widening / unrolling)
+    # ------------------------------------------------------------------
+
+    def _apply_liveness(self, state):
+        for f in state.frame.chain():
+            live = live_at(f.method, f.bci)
+            for i in range(f.method.num_locals):
+                if i not in live and not isinstance(f.locals[i], ConstRep):
+                    f.locals[i] = ConstRep(None)
+        # Drop heap entries no longer referenced by any slot (dead
+        # allocations vanish entirely — allocation sinking).
+        if state.heap:
+            reachable = set()
+            work = []
+            for f in state.frame.chain():
+                for r in f.locals[:f.method.num_locals] + f.stack_reps():
+                    if isinstance(r, Sym):
+                        work.append(r.name)
+            while work:
+                name = work.pop()
+                if name in reachable:
+                    continue
+                reachable.add(name)
+                entry = state.heap.get(name)
+                if entry is not None and not entry.materialized:
+                    children = (entry.fields.values() if entry.kind == "obj"
+                                else entry.elems)
+                    for r in children:
+                        if isinstance(r, Sym):
+                            work.append(r.name)
+            for name in list(state.heap):
+                if name not in reachable:
+                    del state.heap[name]
+
+    def _flatten_slots(self, state):
+        slots = []
+        for f in state.frame.chain():
+            slots.extend(f.locals[:f.method.num_locals])
+            slots.extend(f.stack_reps())
+        return slots
+
+    def _set_slots(self, state, reps):
+        it = iter(reps)
+        for f in state.frame.chain():
+            for i in range(f.method.num_locals):
+                f.locals[i] = next(it)
+            depth = f.tos - f.method.num_locals
+            for i in range(depth):
+                f.locals[f.method.num_locals + i] = next(it)
+
+    def reach(self, state):
+        """Transfer control to ``state``; returns (block id, phi assigns)."""
+        self._apply_liveness(state)
+        key = state.key()
+        info = self.merge_infos.get(key)
+        count = self._reached_count.get(key, 0)
+
+        if info is not None and (count >= 1 or info.mode == "merge"):
+            # A join. Under an `unroll` scope with static-only differences,
+            # clone the target instead of widening (polyvariance).
+            if state.frame.scope.get("unroll") and info.mode != "merge":
+                prev = self._single_entries.get(info.bid)
+                if prev is None or not _states_equal(prev, state):
+                    return self._reach_versioned(key, state)
+                return info.bid, []
+            if state.frame.scope.get("unroll") and info.mode == "merge":
+                return self._reach_versioned(key, state)
+
+        if info is None:
+            info = MergeInfo(self._alloc_bid())
+            info.shape = state.copy()
+            self.merge_infos[key] = info
+
+        self._reached_count[key] = count + 1
+
+        if info.mode == "single":
+            if count == 0:
+                prev = self._single_entries.get(info.bid)
+                self._single_entries[info.bid] = state.copy()
+                self._enqueue_single(info, state)
+                return info.bid, []
+            # Second predecessor: convert to a merge block and restart.
+            info.mode = "merge"
+            first_state = self._single_entries.get(info.bid)
+            info.lattice = None
+            self._pass_changed = True
+            if first_state is not None:
+                self._merge_into(info, first_state)
+            return self._merge_into(info, state)
+        return self._merge_into(info, state)
+
+    def _reach_versioned(self, key, state):
+        n = self._pass_versions.get(key, 0) + 1
+        if n > self.options.unroll_limit:
+            raise UnrollError(
+                "unroll limit (%d) exceeded at %s@%d — is the trip count "
+                "really static? (use freeze)" % (
+                    self.options.unroll_limit,
+                    state.frame.method.qualified_name, state.frame.bci))
+        self._pass_versions[key] = n
+        vkey = key + (("v", n),)
+        info = self.merge_infos.get(vkey)
+        if info is None:
+            info = MergeInfo(self._alloc_bid())
+            info.shape = state.copy()
+            self.merge_infos[vkey] = info
+        if info.mode == "merge":
+            self._reached_count[vkey] = self._reached_count.get(vkey, 0) + 1
+            return self._merge_into(info, state)
+        prev_count = self._reached_count.get(vkey, 0)
+        self._reached_count[vkey] = prev_count + 1
+        if prev_count == 0:
+            self._single_entries[info.bid] = state.copy()
+            self._enqueue_single(info, state)
+            return info.bid, []
+        info.mode = "merge"
+        first_state = self._single_entries.get(info.bid)
+        self._pass_changed = True
+        if first_state is not None:
+            self._merge_into(info, first_state)
+        return self._merge_into(info, state)
+
+    def _merge_into(self, info, state):
+        """Merge ``state`` into a merge-mode block's entry lattice and
+        compute this predecessor's phi assignments."""
+        # Partials cannot cross a merge: materialize in the predecessor.
+        for name in list(state.heap):
+            entry = state.heap[name]
+            if not entry.materialized:
+                self.escape(state, Sym(name))
+        slots = self._flatten_slots(state)
+        if info.lattice is None:
+            info.lattice = [("bot",)] * len(slots)
+        if len(info.lattice) != len(slots):
+            raise CompilationError("inconsistent frame shapes at join")
+        assigns = []
+        for i, rep in enumerate(slots):
+            entry = info.lattice[i]
+            new_entry, changed = self._merge_slot(entry, rep, state)
+            if changed:
+                info.lattice[i] = new_entry
+                if info.bid in self._generated:
+                    self._pass_changed = True
+            if new_entry[0] == "param":
+                assigns.append(("p%d_%d" % (info.bid, i), rep))
+        if info.bid not in self._enqueued and info.bid not in self._generated:
+            self._enqueue_merge(info)
+        return info.bid, assigns
+
+    def _merge_slot(self, entry, rep, state):
+        av = self.eval_abs(state, rep)
+        if entry[0] == "bot":
+            if isinstance(rep, (ConstRep, StaticRep)):
+                return ("const", rep), True
+            return ("param", av), True
+        if entry[0] == "const":
+            if rep == entry[1]:
+                return entry, False
+            return ("param", lub(self.eval_abs(state, entry[1]), av)), True
+        merged = lub(entry[1], av)
+        if merged == entry[1]:
+            return entry, False
+        return ("param", merged), True
+
+    def _enqueue_single(self, info, state):
+        self._enqueued.add(info.bid)
+        self._worklist.append((info.bid, state, None))
+
+    def _enqueue_merge(self, info):
+        self._enqueued.add(info.bid)
+        state = info.shape.copy()
+        state.heap = {}
+        params = []
+        reps = []
+        for i, entry in enumerate(info.lattice):
+            if entry[0] == "param":
+                name = "p%d_%d" % (info.bid, i)
+                sym = Sym(name)
+                self.ctx.abs[name] = entry[1]
+                params.append(name)
+                reps.append(sym)
+            elif entry[0] == "const":
+                reps.append(entry[1])
+            else:           # 'bot' — never observed; keep a null
+                reps.append(ConstRep(None))
+        self._set_slots(state, reps)
+        self._worklist.append((info.bid, state, params))
+
+    # ------------------------------------------------------------------
+    # Block generation: the staged dispatch loop
+    # ------------------------------------------------------------------
+
+    def _generate_block(self, bid, state, params):
+        if len(self.ctx.blocks) > self.options.max_blocks:
+            raise CompilationError("block budget exhausted (max_blocks=%d)"
+                                   % self.options.max_blocks)
+        block = self.ctx.new_block(bid, params=params or ())
+        self.ctx.set_current(block)
+        self._generated.add(bid)
+        # Per-block store-to-load forwarding memo for pre-existing
+        # arrays/objects: ("arr", id, index) / ("f", id, field) -> Rep.
+        self._forward = {}
+        # Pending (possibly dead) stores: key -> Stmt, removed when
+        # overwritten before any potentially-aliasing read/barrier.
+        self._pending_arr_stores = {}
+        self._pending_field_stores = {}
+        self._exec(state, block)
+
+    def _goto(self, state, block, target_bci):
+        """Transfer within the current method; splits at join points."""
+        state.frame.bci = target_bci
+        if target_bci in join_bcis(state.frame.method):
+            tbid, assigns = self.reach(state)
+            block.terminator = Jump(tbid, assigns)
+            return _END
+        return _CONTINUE
+
+    def _exec(self, state, block):
+        """Symbolically execute from ``state`` until a terminator."""
+        steps = 0
+        while True:
+            frame = state.frame
+            # Split when falling into a join point (but not on block entry).
+            if steps > 0 and frame.bci in join_bcis(frame.method):
+                tbid, assigns = self.reach(state)
+                block.terminator = Jump(tbid, assigns)
+                return
+            steps += 1
+            code = frame.method.code
+            ins = code[frame.bci]
+            frame.bci += 1
+            op = ins.op
+            push = frame.push
+            pop = frame.pop
+
+            if op is Op.LOAD:
+                push(frame.locals[ins.arg])
+            elif op is Op.CONST:
+                push(ConstRep(ins.arg))
+            elif op is Op.STORE:
+                frame.locals[ins.arg] = pop()
+            elif op in _BIN_OPS:
+                b = pop()
+                a = pop()
+                push(self._binop(state, _BIN_OPS[op], a, b))
+            elif op is Op.NEG:
+                a = pop()
+                av = self.eval_abs(state, a)
+                if isinstance(av, Const):
+                    try:
+                        push(self.ctx.lift(guest_ops.guest_neg(av.value)))
+                        continue
+                    except GuestError:
+                        pass
+                flags = {"num": True} if av.type_hint() == "num" else None
+                push(self.emit(state, "neg", (a,), flags=flags,
+                               absval=Unknown(ty=av.type_hint())))
+            elif op is Op.NOT:
+                a = pop()
+                av = self.eval_abs(state, a)
+                if isinstance(av, Const):
+                    push(ConstRep(not av.value))
+                elif av.is_static_value:
+                    push(ConstRep(not self.static_value(state, a)))
+                else:
+                    push(self.emit(state, "not", (a,),
+                                   absval=Unknown(ty="bool")))
+            elif op is Op.JUMP:
+                if self._goto(state, block, ins.arg) is _END:
+                    return
+            elif op is Op.JIF_TRUE or op is Op.JIF_FALSE:
+                cond = pop()
+                av = self.eval_abs(state, cond)
+                if av.is_static_value:
+                    value = bool(self.static_value(state, cond))
+                    taken = value if op is Op.JIF_TRUE else not value
+                    if taken:
+                        if self._goto(state, block, ins.arg) is _END:
+                            return
+                    continue
+                # Dynamic branch: end the block.
+                if state.frame.scope.get("checktaint") \
+                        or self.options.check_taint:
+                    if self.ctx.is_tainted(cond):
+                        self._leaks.append(
+                            "branch on tainted value in %s"
+                            % frame.method.qualified_name)
+                s_taken = state.copy()
+                s_taken.frame.bci = ins.arg
+                s_fall = state
+                t_bid, t_assigns = self.reach(s_taken)
+                f_bid, f_assigns = self.reach(s_fall)
+                if op is Op.JIF_TRUE:
+                    block.terminator = Branch(cond, t_bid, t_assigns,
+                                              f_bid, f_assigns)
+                else:
+                    block.terminator = Branch(cond, f_bid, f_assigns,
+                                              t_bid, t_assigns)
+                return
+            elif op is Op.RET or op is Op.RET_VAL:
+                rep = pop() if op is Op.RET_VAL else ConstRep(None)
+                result = self._handle_return(state, block, rep)
+                if result is _END:
+                    return
+            elif op is Op.INVOKE:
+                name, argc = ins.arg
+                args = [pop() for __ in range(argc)]
+                args.reverse()
+                recv = pop()
+                if self._invoke_virtual(state, block, recv, name, args) is _END:
+                    return
+            elif op is Op.INVOKE_STATIC:
+                cls_name, name, argc = ins.arg
+                args = [pop() for __ in range(argc)]
+                args.reverse()
+                if self._invoke_static(state, block, cls_name, name,
+                                       args) is _END:
+                    return
+            elif op is Op.GETFIELD:
+                push(self._getfield(state, pop(), ins.arg))
+            elif op is Op.PUTFIELD:
+                value = pop()
+                obj = pop()
+                self._putfield(state, obj, ins.arg, value)
+            elif op is Op.NEW:
+                cls = self.linker.resolve_class(ins.arg)
+                sym = self.ctx.fresh_sym("o")
+                state.heap[sym.name] = HeapEntry(
+                    "obj", cls=cls,
+                    fields={name: ConstRep(None) for name in cls.all_fields})
+                push(sym)
+            elif op is Op.NEW_ARRAY:
+                n = pop()
+                av = self.eval_abs(state, n)
+                if isinstance(av, Const) and isinstance(av.value, int) \
+                        and 0 <= av.value <= 4096:
+                    sym = self.ctx.fresh_sym("o")
+                    state.heap[sym.name] = HeapEntry(
+                        "arr", elems=[ConstRep(None)] * av.value)
+                    push(sym)
+                else:
+                    sym = self.emit(state, "new_array", (n,),
+                                    effect=Effect.ALLOC,
+                                    absval=Unknown(ty="arr", nonnull=True))
+                    self._fresh_arrays.add(sym.name)
+                    push(sym)
+            elif op is Op.ARRAY_LIT:
+                elems = [pop() for __ in range(ins.arg)]
+                elems.reverse()
+                sym = self.ctx.fresh_sym("o")
+                state.heap[sym.name] = HeapEntry("arr", elems=elems)
+                push(sym)
+            elif op is Op.ALOAD:
+                i = pop()
+                arr = pop()
+                push(self._aload(state, arr, i))
+            elif op is Op.ASTORE:
+                v = pop()
+                i = pop()
+                arr = pop()
+                self._astore(state, arr, i, v)
+            elif op is Op.ALEN:
+                push(self._alen(state, pop()))
+            elif op is Op.POP:
+                pop()
+            elif op is Op.DUP:
+                top = pop()
+                push(top)
+                push(top)
+            elif op is Op.SWAP:
+                a = pop()
+                b = pop()
+                push(a)
+                push(b)
+            elif op is Op.INSTANCEOF:
+                push(self._instanceof(state, pop(), ins.arg))
+            elif op is Op.THROW:
+                v = pop()
+                self.escape(state, v)
+                self.emit(state, "throw", (v,), effect=Effect.IO)
+                block.terminator = Return(ConstRep(None))
+                return
+            else:  # pragma: no cover
+                raise CompilationError("bad opcode %r" % (op,))
+
+    # ------------------------------------------------------------------
+    # Returns and macro-directive plumbing
+    # ------------------------------------------------------------------
+
+    def _handle_return(self, state, block, rep):
+        frame = state.frame
+        parent = frame.parent
+        if parent is None:
+            self.escape(state, rep)
+            block.terminator = Return(rep)
+            return _END
+        on_return = frame.on_return
+        state.frame = parent
+        if on_return is not None:
+            return self._apply_macro_result(
+                state, block, on_return(self, state, rep))
+        parent.push(rep)
+        return _CONTINUE
+
+    def _apply_macro_result(self, state, block, result):
+        """Interpret a macro's return value (Rep or directive)."""
+        from repro.lms.rep import Rep
+        if isinstance(result, Rep):
+            state.frame.push(result)
+            return _CONTINUE
+        if isinstance(result, MacroInline):
+            self._push_inline(state, result.method, result.receiver,
+                              result.args, result.scope_updates,
+                              result.on_return)
+            return _CONTINUE
+        if isinstance(result, SlowpathDirective):
+            meta_id, lives = self.snapshot(
+                state, extra_stack=(("const", result.result),),
+                kind="interpret", reason="slowpath")
+            if self.emit_flags(state).get("noalloc"):
+                self._noalloc_sites.append(
+                    "deoptimization point (slowpath) in %s"
+                    % state.frame.method.qualified_name)
+            block.terminator = Deopt(meta_id, lives)
+            return _END
+        if isinstance(result, FastpathDirective):
+            meta_id, lives = self.snapshot(
+                state, extra_stack=(("const", result.result),),
+                kind="osr", reason="fastpath")
+            block.terminator = OsrCompile(meta_id, lives)
+            return _END
+        if isinstance(result, ReturnDirective):
+            self.escape(state, result.rep)
+            block.terminator = Return(result.rep)
+            return _END
+        raise CompilationError("macro returned %r" % (result,))
+
+    def _push_inline(self, state, method, receiver, args, scope_updates=None,
+                     on_return=None):
+        frame = state.frame
+        depth = len(frame.chain())
+        if depth >= self.options.max_inline_depth:
+            raise CompilationError(
+                "inline depth limit (%d) exceeded at %s — recursive "
+                "macro expansion?" % (self.options.max_inline_depth,
+                                      method.qualified_name))
+        callee = AbstractFrame(method, parent=frame, scope=dict(frame.scope))
+        if scope_updates:
+            callee.scope.update(scope_updates)
+        callee.on_return = on_return
+        base = 0
+        if not method.is_static:
+            callee.locals[0] = receiver if receiver is not None \
+                else ConstRep(None)
+            base = 1
+        for i, a in enumerate(args):
+            callee.locals[base + i] = a
+        state.frame = callee
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+
+    def _call_policy(self, state, method):
+        scope = state.frame.scope
+        policy = scope.get("inline", self.options.inline_policy)
+        callee_updates = {}
+        for pattern, directive, mode in scope.get("triggers", ()):
+            if re.search(pattern, method.qualified_name):
+                updates = _DIRECTIVE_SCOPES.get(directive, {})
+                callee_updates.update(updates)
+                if mode == "at" and "inline" in updates:
+                    policy = updates["inline"]
+        return policy, callee_updates
+
+    def _is_recursive(self, state, method):
+        f = state.frame
+        while f is not None:
+            if f.method is method:
+                return True
+            f = f.parent
+        return False
+
+    def _invoke_virtual(self, state, block, recv, name, args):
+        av = self.eval_abs(state, recv)
+        cls = None
+        if isinstance(av, Static) and isinstance(av.obj, Obj):
+            cls = av.obj.cls
+        elif isinstance(av, Partial):
+            cls = av.cls
+
+        if cls is not None:
+            macro = self.macros.lookup_virtual(cls, name)
+            if macro is not None:
+                result = macro(MacroContext(self, state), recv, args)
+                if result is not None:
+                    return self._apply_macro_result(state, block, result)
+            try:
+                method = self.linker.resolve_virtual(cls, name)
+            except LinkError as exc:
+                if name == "init" and not args:
+                    # Zero-arg `new` of a class without a constructor.
+                    state.frame.push(ConstRep(None))
+                    return _CONTINUE
+                raise CompilationError(str(exc))
+            policy, updates = self._call_policy(state, method)
+            if policy == "always" or (policy == "nonrec"
+                                      and not self._is_recursive(state, method)):
+                self._push_inline(state, method, recv, args,
+                                  scope_updates=updates)
+                return _CONTINUE
+        # Residual virtual call.
+        self.escape(state, recv)
+        for a in args:
+            self.escape(state, a)
+            self._note_static_write(state, a)
+        self._check_taint_sink(state, [recv] + args, "call %s" % name)
+        sym = self.emit(state, "invoke", (name, recv) + tuple(args),
+                        effect=Effect.CALL, absval=UNKNOWN)
+        state.frame.push(sym)
+        return _CONTINUE
+
+    def _invoke_static(self, state, block, cls_name, name, args):
+        macro = self.macros.lookup_static(cls_name, name)
+        if macro is not None:
+            result = macro(MacroContext(self, state), None, args)
+            if result is not None:
+                return self._apply_macro_result(state, block, result)
+        nat = lookup_native(cls_name, name)
+        if nat is not None:
+            # Fold pure natives over static arguments. Allocating natives
+            # (e.g. split) only fold under a `freeze` scope — baking their
+            # result as a static would otherwise alias one mutable object
+            # across all invocations of the compiled code.
+            foldable = nat.pure and not nat.calls_guest and (
+                not nat.allocates or state.frame.scope.get("freeze"))
+            if foldable:
+                values = [self.static_value(state, a) for a in args]
+                if _NO_VALUE not in values:
+                    try:
+                        state.frame.push(
+                            self.ctx.lift(nat.fn(self.vm, *values)))
+                        return _CONTINUE
+                    except GuestError:
+                        pass
+            state.frame.push(self.emit_native(state, nat, args))
+            return _CONTINUE
+        try:
+            method = self.linker.resolve_static(cls_name, name)
+        except LinkError as exc:
+            raise CompilationError(str(exc))
+        policy, updates = self._call_policy(state, method)
+        if policy == "always" or (policy == "nonrec"
+                                  and not self._is_recursive(state, method)):
+            self._push_inline(state, method, None, args, scope_updates=updates)
+            return _CONTINUE
+        for a in args:
+            self.escape(state, a)
+            self._note_static_write(state, a)
+        self._check_taint_sink(state, args, "call %s.%s" % (cls_name, name))
+        sym = self.emit(state, "invoke_method",
+                        (self.ctx.lift_static(method), ConstRep(None))
+                        + tuple(args),
+                        effect=Effect.CALL, absval=UNKNOWN)
+        state.frame.push(sym)
+        return _CONTINUE
+
+    # ------------------------------------------------------------------
+    # Heap operations (paper 2.2: the getFieldObject shortcut et al.)
+    # ------------------------------------------------------------------
+
+    def _getfield(self, state, obj, name):
+        av = self.eval_abs(state, obj)
+        if isinstance(av, Partial):
+            if name in av.fields:
+                return av.fields[name]
+            if av.cls.field_info(name) is None:
+                raise CompilationError("no field %r on %s"
+                                       % (name, av.cls.name))
+            return ConstRep(None)
+        if isinstance(av, Static) and isinstance(av.obj, Obj):
+            finfo = av.obj.cls.field_info(name)
+            if finfo is None:
+                raise CompilationError("no field %r on %s"
+                                       % (name, av.obj.cls.name))
+            # The paper's `case Static(x) if field.isFinal => read it now`.
+            if finfo.is_val and self.options.fold_val_fields:
+                return self.ctx.lift(av.obj.get(name))
+            if name in av.obj.cls.stable_fields \
+                    and self.options.speculate_stable:
+                # @stable speculation (paper 3.2): fold the current value;
+                # writes invalidate the compiled code.
+                self.stable_deps.append((av.obj, name))
+                return self.ctx.lift(av.obj.get(name))
+            key = ("f", id(av.obj), name)
+            hit = self._forward.get(key)
+            if hit is not None:
+                return hit
+            sym = self.emit(state, "getfield", (obj, name),
+                            effect=Effect.READ,
+                            flags={"objfast": True,
+                                   "static_id": id(av.obj)},
+                            absval=UNKNOWN)
+            self._forward[key] = sym
+            return sym
+        flags = None
+        hint = av.type_hint()
+        if hint is not None and hint.startswith("obj") and av.nonnull():
+            flags = {"objfast": True}
+        return self.emit(state, "getfield", (obj, name), effect=Effect.READ,
+                         flags=flags, absval=UNKNOWN)
+
+    def _putfield(self, state, obj, name, value):
+        if isinstance(obj, Sym):
+            entry = state.heap.get(obj.name)
+            if entry is not None and not entry.materialized:
+                if entry.cls.field_info(name) is None:
+                    raise CompilationError("no field %r on %s"
+                                           % (name, entry.cls.name))
+                entry.fields[name] = value
+                return
+        av = self.eval_abs(state, obj)
+        self.escape(state, value)
+        flags = None
+        hint = av.type_hint()
+        if hint is not None and hint.startswith("obj") and av.nonnull():
+            # Writes to @stable fields must run invalidation, so they take
+            # the slow helper even on known objects.
+            stable = isinstance(av, Static) and isinstance(av.obj, Obj) \
+                and name in av.obj.cls.stable_fields
+            if not stable:
+                flags = {"objfast": True}
+                if isinstance(av, Static):
+                    flags["static_id"] = id(av.obj)
+        else:
+            self._forward.clear()
+        self.emit(state, "putfield", (obj, name, value), effect=Effect.WRITE,
+                  flags=flags)
+        if isinstance(av, Static) and isinstance(av.obj, Obj):
+            self._forward[("f", id(av.obj), name)] = value
+
+    def _aload(self, state, arr, i):
+        av_arr = self.eval_abs(state, arr)
+        av_i = self.eval_abs(state, i)
+        if isinstance(av_arr, PartialArray) and isinstance(av_i, Const):
+            idx = av_i.value
+            if isinstance(idx, int) and 0 <= idx < len(av_arr.elems):
+                return av_arr.elems[idx]
+        if isinstance(av_arr, Static) and isinstance(av_arr.obj, list) \
+                and isinstance(av_i, Const) \
+                and self.options.assume_static_arrays \
+                and id(av_arr.obj) not in self._written_statics:
+            try:
+                return self.ctx.lift(guest_ops.guest_aload(av_arr.obj,
+                                                           av_i.value))
+            except GuestError:
+                pass
+        if isinstance(arr, Sym):
+            self.escape(state, arr)
+        flags = None
+        key = None
+        hint = av_arr.type_hint()
+        const_idx = (isinstance(av_i, Const) and isinstance(av_i.value, int)
+                     and not isinstance(av_i.value, bool))
+        if isinstance(av_arr, Static) and isinstance(av_arr.obj, list) \
+                and const_idx and 0 <= av_i.value < len(av_arr.obj):
+            # Array lengths are immutable, so a constant in-range index on
+            # a pre-existing array can compile to a direct subscript.
+            flags = {"fast": True, "static_id": id(av_arr.obj)}
+            key = ("arr", id(av_arr.obj), av_i.value)
+            hit = self._forward.get(key)
+            if hit is not None:
+                return hit
+        elif hint is not None and hint.startswith("arr") and av_arr.nonnull() \
+                and const_idx and av_i.value >= 0:
+            flags = {"known_arr": True}
+        elem_ty = "str" if hint == "arr:str" else None
+        sym = self.emit(state, "aload", (arr, i), effect=Effect.READ,
+                        flags=flags,
+                        absval=Unknown(ty=elem_ty, nonnull=elem_ty is not None))
+        if key is not None:
+            self._forward[key] = sym
+        return sym
+
+    def _astore(self, state, arr, i, v):
+        if isinstance(arr, Sym):
+            entry = state.heap.get(arr.name)
+            if entry is not None and not entry.materialized \
+                    and entry.kind == "arr":
+                av_i = self.eval_abs(state, i)
+                if isinstance(av_i, Const) and isinstance(av_i.value, int) \
+                        and 0 <= av_i.value < len(entry.elems):
+                    entry.elems[av_i.value] = v
+                    return
+            self.escape(state, arr)
+        self._note_static_write(state, arr)
+        self.escape(state, v)
+        av_arr = self.eval_abs(state, arr)
+        av_i = self.eval_abs(state, i)
+        flags = None
+        key = None
+        if isinstance(av_arr, Static) and isinstance(av_arr.obj, list) \
+                and isinstance(av_i, Const) and isinstance(av_i.value, int) \
+                and not isinstance(av_i.value, bool) \
+                and 0 <= av_i.value < len(av_arr.obj):
+            flags = {"fast": True, "static_id": id(av_arr.obj)}
+            key = ("arr", id(av_arr.obj), av_i.value)
+        else:
+            # Unknown target may alias anything we forward.
+            self._forward.clear()
+        self.emit(state, "astore", (arr, i, v), effect=Effect.WRITE,
+                  flags=flags)
+        if key is not None:
+            self._forward[key] = v
+
+    def _note_static_write(self, state, rep):
+        """Record that a pre-existing array is mutated by compiled code;
+        folds of its reads (from earlier passes) must be redone."""
+        av = self.eval_abs(state, rep)
+        if isinstance(av, Static) and isinstance(av.obj, list):
+            if id(av.obj) not in self._written_statics:
+                self._written_statics.add(id(av.obj))
+                self._pass_changed = True
+
+    def _alen(self, state, arr):
+        av = self.eval_abs(state, arr)
+        if isinstance(av, PartialArray):
+            return ConstRep(len(av.elems))
+        if isinstance(av, Static) and isinstance(av.obj, (list, str)) \
+                and self.options.assume_static_arrays:
+            return ConstRep(len(av.obj))
+        if isinstance(av, Const) and isinstance(av.value, str):
+            return ConstRep(len(av.value))
+        flags = {"arrfast": True} if av.type_hint() in ("arr", "str") \
+            and av.nonnull() else None
+        return self.emit(state, "alen", (arr,), flags=flags,
+                         absval=Unknown(ty="num"))
+
+    def _instanceof(self, state, rep, cls_name):
+        av = self.eval_abs(state, rep)
+        hint = av.type_hint()
+        if isinstance(av, (Partial, Static)) or isinstance(av, Const):
+            value = av.obj if isinstance(av, Static) else (
+                None if isinstance(av, Const) else None)
+            if isinstance(av, Partial):
+                return ConstRep(av.cls.is_subclass_of(cls_name))
+            if isinstance(av, Static):
+                return ConstRep(isinstance(value, Obj)
+                                and value.cls.is_subclass_of(cls_name))
+            return ConstRep(False)
+        if hint is not None and hint.startswith("obj:"):
+            cls = self.linker.classes.get(hint[4:])
+            if cls is not None and cls.is_subclass_of(cls_name):
+                return ConstRep(True)
+        if hint in ("num", "bool", "str", "arr"):
+            return ConstRep(False)
+        return self.emit(state, "instanceof", (rep, cls_name),
+                         absval=Unknown(ty="bool"))
+
+    # ------------------------------------------------------------------
+    # Arithmetic folding (paper 2.2's infix_+ rewrite, generalized)
+    # ------------------------------------------------------------------
+
+    def _binop(self, state, opname, a, b):
+        av_a = self.eval_abs(state, a)
+        av_b = self.eval_abs(state, b)
+        fold = guest_ops.BINOPS[opname.upper()]
+        if av_a.is_static_value and av_b.is_static_value:
+            va = self.static_value(state, a)
+            vb = self.static_value(state, b)
+            try:
+                return self.ctx.lift(fold(va, vb))
+            except GuestError:
+                pass  # fold would raise; leave it to runtime
+        ta, tb = av_a.type_hint(), av_b.type_hint()
+        flags = None
+        result_ty = None
+        op = opname
+        if opname in ("add", "sub", "mul", "div", "mod"):
+            if ta == "num" and tb == "num":
+                if opname in ("add", "sub", "mul"):
+                    flags = {"num": True}
+                result_ty = "num"
+            elif opname == "add" and ta == "str" and tb == "str":
+                op = "concat"
+                result_ty = "str"
+            elif opname == "add" and ("str" in (ta, tb)):
+                result_ty = "str"
+        else:
+            result_ty = "bool"
+            if ta == "num" and tb == "num":
+                flags = {"num": True}
+            elif ta == "str" and tb == "str":
+                flags = {"num": True}
+            elif opname in ("eq", "ne") and (isinstance(av_a, Const)
+                                             or isinstance(av_b, Const)):
+                # Python == agrees with guest_eq whenever one side is a
+                # primitive constant (Obj/array identity still works out).
+                flags = {"num": True}
+        # Algebraic simplifications on partially-static operands.
+        simplified = self._algebraic(opname, a, b, av_a, av_b)
+        if simplified is not None:
+            return simplified
+        sym = self.emit(state, op, (a, b), flags=flags,
+                        absval=Unknown(ty=result_ty))
+        # Type refinement: an order comparison that executes without
+        # raising proves its operands comparable; with one side numeric,
+        # the other is numeric in everything that follows.
+        if opname in ("lt", "le", "gt", "ge"):
+            if ta == "num" and tb is None and isinstance(b, Sym):
+                self.ctx.abs[b.name] = Unknown(ty="num", nonnull=True)
+            elif tb == "num" and ta is None and isinstance(a, Sym):
+                self.ctx.abs[a.name] = Unknown(ty="num", nonnull=True)
+        return sym
+
+    @staticmethod
+    def _algebraic(opname, a, b, av_a, av_b):
+        def is_const(av, v):
+            return isinstance(av, Const) and av.value == v \
+                and not isinstance(av.value, bool)
+        if opname == "add":
+            if is_const(av_a, 0) and av_b.type_hint() == "num":
+                return b
+            if is_const(av_b, 0) and av_a.type_hint() == "num":
+                return a
+        elif opname == "sub":
+            if is_const(av_b, 0) and av_a.type_hint() == "num":
+                return a
+        elif opname == "mul":
+            if is_const(av_a, 1) and av_b.type_hint() == "num":
+                return b
+            if is_const(av_b, 1) and av_a.type_hint() == "num":
+                return a
+        elif opname == "div":
+            if is_const(av_b, 1) and av_a.type_hint() == "num":
+                return a
+        return None
+
+
+_BIN_OPS = {
+    Op.ADD: "add", Op.SUB: "sub", Op.MUL: "mul", Op.DIV: "div",
+    Op.MOD: "mod", Op.EQ: "eq", Op.NE: "ne", Op.LT: "lt", Op.LE: "le",
+    Op.GT: "gt", Op.GE: "ge",
+}
+
+
+class _NoValueType:
+    def __repr__(self):
+        return "<no value>"
+
+
+_NO_VALUE = _NoValueType()
+
+
+def _states_equal(a, b):
+    """Structural equality of two states (same reps in every slot)."""
+    fa, fb = a.frame.chain(), b.frame.chain()
+    if len(fa) != len(fb):
+        return False
+    for x, y in zip(fa, fb):
+        if x.method is not y.method or x.bci != y.bci or x.tos != y.tos:
+            return False
+        if x.locals[:x.tos] != y.locals[:y.tos]:
+            return False
+    return True

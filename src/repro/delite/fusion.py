@@ -1,0 +1,158 @@
+"""Op fusion over the staged IR (paper 3.4).
+
+Rewrites chains of Delite statements inside compiled code:
+
+* ``map(map(xs))`` — vertical fusion by kernel composition;
+* ``sum(map(xs))`` / ``sum(zipmap(xs, ys))`` — DeliteOpMapReduce, removing
+  the intermediate array;
+* ``map(zipWithIndex(xs))`` — the AoS-to-SoA transformation: the map
+  kernel is recompiled against a synthesized ``(element, index)`` closure,
+  whose Pair allocation Lancet scalar-replaces — so the fused kernel never
+  allocates pair objects at all (exactly the paper's name-score win).
+
+Producers whose only consumer was fused away become dead and are removed
+by the regular DCE pass (delite ops are functional).
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.builder import MethodBuilder
+from repro.bytecode.classfile import ClassFile
+from repro.lms.ir import Branch, Deopt, Jump, OsrCompile, Return
+from repro.lms.rep import Sym
+
+
+def fuse_delite(blocks, jit=None):
+    """Fuse Delite stmt chains in-place; returns the number of fusions."""
+    delite_stmts = {}
+    for block in blocks.values():
+        for stmt in block.stmts:
+            if stmt.op == "delite":
+                delite_stmts[stmt.sym.name] = stmt
+    if not delite_stmts:
+        return 0
+
+    uses = _count_uses(blocks)
+    fused = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks.values():
+            for stmt in block.stmts:
+                if stmt.op != "delite":
+                    continue
+                if _try_fuse(stmt, delite_stmts, uses, jit):
+                    uses = _count_uses(blocks)
+                    fused += 1
+                    changed = True
+    return fused
+
+
+def _count_uses(blocks):
+    uses = {}
+
+    def use(rep):
+        if isinstance(rep, Sym):
+            uses[rep.name] = uses.get(rep.name, 0) + 1
+
+    for block in blocks.values():
+        for stmt in block.stmts:
+            for a in stmt.args:
+                use(a)
+        term = block.terminator
+        if isinstance(term, Jump):
+            for __, rep in term.phi_assigns:
+                use(rep)
+        elif isinstance(term, Branch):
+            use(term.cond)
+            for __, rep in term.true_assigns + term.false_assigns:
+                use(rep)
+        elif isinstance(term, Return):
+            use(term.value)
+        elif isinstance(term, (Deopt, OsrCompile)):
+            for rep in term.lives:
+                use(rep)
+    return uses
+
+
+def _producer_of(rep, delite_stmts, uses):
+    if not isinstance(rep, Sym):
+        return None
+    if uses.get(rep.name, 0) != 1:
+        return None      # intermediate observed elsewhere: keep it
+    return delite_stmts.get(rep.name)
+
+
+def _try_fuse(stmt, delite_stmts, uses, jit):
+    from repro.delite.ops import (MapIndexedOp, MapOp, MapReduceOp,
+                                  ReduceOp, ZipMapOp, ZipWithIndexOp)
+    op = stmt.args[0]
+
+    if isinstance(op, MapOp):
+        producer = _producer_of(stmt.args[1], delite_stmts, uses)
+        if producer is None:
+            return False
+        pop = producer.args[0]
+        if isinstance(pop, MapOp):
+            fused = MapOp(pop.kernel.compose(op.kernel))
+            stmt.args = (fused,) + tuple(producer.args[1:])
+            return True
+        if isinstance(pop, ZipWithIndexOp) and jit is not None:
+            indexed = _indexify_kernel(jit, op.kernel)
+            if indexed is not None:
+                stmt.args = (MapIndexedOp(indexed),) + tuple(producer.args[1:])
+                return True
+        return False
+
+    if isinstance(op, ReduceOp) and op.kernel is None:
+        producer = _producer_of(stmt.args[1], delite_stmts, uses)
+        if producer is None:
+            return False
+        pop = producer.args[0]
+        if isinstance(pop, MapOp):
+            stmt.args = (MapReduceOp(pop.kernel, n_elem=1),) \
+                + tuple(producer.args[1:])
+            return True
+        if isinstance(pop, ZipMapOp):
+            stmt.args = (MapReduceOp(pop.kernel, n_elem=2),) \
+                + tuple(producer.args[1:])
+            return True
+        if isinstance(pop, MapIndexedOp):
+            stmt.args = (MapReduceOp(pop.kernel, n_elem=1, indexed=True),) \
+                + tuple(producer.args[1:])
+            return True
+    return False
+
+
+_SYNTH_COUNT = [0]
+
+
+def _indexify_kernel(jit, pair_kernel):
+    """Recompile a Pair-taking kernel as a two-argument (value, index)
+    kernel. The synthesized wrapper allocates the Pair, and Lancet's
+    scalar replacement removes it — this is the SoA conversion."""
+    from repro.bytecode.opcodes import Op
+    from repro.delite.kernels import Kernel
+    from repro.runtime.objects import new_instance
+
+    closure = getattr(pair_kernel, "guest_closure", None)
+    if closure is None or "Pair" not in jit.vm.linker.classes:
+        return None
+    _SYNTH_COUNT[0] += 1
+    name = "Delite$SoA%d" % _SYNTH_COUNT[0]
+    cf = ClassFile(name, is_closure=True)
+    cf.add_field("f", is_val=True)
+    b = MethodBuilder("apply", 2, is_static=False)
+    # return this.f.apply(new Pair(x, i))
+    b.load(0).getfield("f")
+    b.new("Pair").emit(Op.DUP).load(1).load(2).invoke("init", 2)
+    b.emit(Op.POP)
+    b.invoke("apply", 1)
+    b.ret_val()
+    cf.add_method(b.build())
+    jit.vm.load_classes([cf])
+    wrapper = new_instance(jit.vm.linker.resolve_class(name))
+    wrapper.fields["f"] = closure
+    kernel = Kernel.from_closure(jit, wrapper, name="soa:%s"
+                                 % pair_kernel.name)
+    return kernel

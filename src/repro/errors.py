@@ -1,0 +1,132 @@
+"""Exception hierarchy for the repro package.
+
+The paper's central contract is that explicit JIT compilation may *fail
+loudly* instead of silently producing slow code: "compilation might fail
+with an exception if the argument of freeze cannot be evaluated during
+compilation. We argue that this is OK, and even desirable."  Every demanded-
+but-impossible optimization surfaces as a subclass of
+:class:`CompilationError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Guest-language toolchain errors
+# ---------------------------------------------------------------------------
+
+class MiniJSyntaxError(ReproError):
+    """Raised by the MiniJ lexer/parser on malformed source."""
+
+    def __init__(self, message, line=None, col=None):
+        self.line = line
+        self.col = col
+        if line is not None:
+            message = "line %d:%d: %s" % (line, col if col is not None else 0, message)
+        super().__init__(message)
+
+
+class MiniJCompileError(ReproError):
+    """Raised by the MiniJ-to-bytecode compiler (e.g. assignment to a
+    captured variable, unknown name)."""
+
+
+class AssemblerError(ReproError):
+    """Raised by the textual bytecode assembler."""
+
+
+class VerifyError(ReproError):
+    """Raised by the bytecode verifier (bad stack depth, jump target, ...)."""
+
+
+class LinkError(ReproError):
+    """Raised when class/method/field resolution fails."""
+
+
+# ---------------------------------------------------------------------------
+# Guest runtime errors
+# ---------------------------------------------------------------------------
+
+class GuestError(ReproError):
+    """A runtime error inside guest (MiniJVM) code: null dereference,
+    out-of-bounds array access, bad operand types, division by zero."""
+
+
+class GuestNullError(GuestError):
+    pass
+
+
+class GuestIndexError(GuestError):
+    pass
+
+
+class GuestTypeError(GuestError):
+    pass
+
+
+class GuestArithmeticError(GuestError):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# JIT compilation errors (the paper's explicit-compilation contract)
+# ---------------------------------------------------------------------------
+
+class CompilationError(ReproError):
+    """A demanded optimization could not be performed.
+
+    Unlike a black-box JIT, Lancet reports failures to the program so it can
+    react (paper section 1: "instead of running suboptimal code, we want to
+    obtain a guarantee that certain optimizations are performed").
+    """
+
+
+class FreezeError(CompilationError):
+    """``freeze(x)`` could not evaluate ``x`` at JIT-compile time."""
+
+
+class MaterializeError(CompilationError):
+    """``evalM`` failed to materialize a staged value back to a concrete
+    one (the value is genuinely dynamic)."""
+
+
+class UnrollError(CompilationError):
+    """A loop demanded to be unrolled has a non-static trip count."""
+
+
+class InlineError(CompilationError):
+    """A call demanded to be inlined could not be (e.g. unknown target)."""
+
+
+class NoAllocError(CompilationError):
+    """``checkNoAlloc`` found a residual heap allocation, deoptimization
+    point, or call to code not compiled under the directive (paper 3.3)."""
+
+    def __init__(self, message, sites=()):
+        super().__init__(message)
+        self.sites = list(sites)
+
+
+class TaintError(CompilationError):
+    """The JIT taint analysis found tainted data flowing to a sink
+    (paper 3.3, secure information flow)."""
+
+    def __init__(self, message, leaks=()):
+        super().__init__(message)
+        self.leaks = list(leaks)
+
+
+class MacroError(CompilationError):
+    """A JIT macro raised or was misused."""
+
+
+class CompilationWarningList(ReproError):
+    """Container surfaced when compiling with ``warnings_as_errors``."""
+
+    def __init__(self, warnings):
+        self.warnings = list(warnings)
+        super().__init__("; ".join(str(w) for w in warnings))

@@ -1,0 +1,11 @@
+"""MiniJ: the guest source language (the Scala of this reproduction).
+
+A small class-based language with ``val``/``var`` fields, first-class
+lambdas (compiled to synthesized classes, as Scala closures are on the
+JVM), and explicit calls into the ``Lancet.*`` JIT API.
+"""
+
+from repro.frontend.compiler import compile_source
+from repro.frontend.parser import parse
+
+__all__ = ["compile_source", "parse"]

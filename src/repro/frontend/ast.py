@@ -1,0 +1,251 @@
+"""MiniJ abstract syntax."""
+
+from __future__ import annotations
+
+
+class Node:
+    """Base class; every node records its source line."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line):
+        self.line = line
+
+    def __repr__(self):
+        slots = []
+        for cls in type(self).__mro__:
+            slots.extend(getattr(cls, "__slots__", ()))
+        fields = ", ".join("%s=%r" % (s, getattr(self, s))
+                           for s in slots if s != "line")
+        return "%s(%s)" % (type(self).__name__, fields)
+
+
+# -- top level ---------------------------------------------------------------
+
+class Program(Node):
+    __slots__ = ("classes", "functions")
+
+    def __init__(self, classes, functions, line=1):
+        super().__init__(line)
+        self.classes = classes
+        self.functions = functions
+
+
+class ClassDecl(Node):
+    __slots__ = ("name", "super_name", "fields", "methods")
+
+    def __init__(self, name, super_name, fields, methods, line):
+        super().__init__(line)
+        self.name = name
+        self.super_name = super_name
+        self.fields = fields      # list of (name, is_val)
+        self.methods = methods    # list of FuncDecl
+
+
+class FuncDecl(Node):
+    __slots__ = ("name", "params", "body", "is_static")
+
+    def __init__(self, name, params, body, line, is_static=True):
+        super().__init__(line)
+        self.name = name
+        self.params = params
+        self.body = body          # list of statements
+        self.is_static = is_static
+
+
+# -- statements ---------------------------------------------------------------
+
+class VarDecl(Node):
+    __slots__ = ("name", "init")
+
+    def __init__(self, name, init, line):
+        super().__init__(line)
+        self.name = name
+        self.init = init          # may be None
+
+
+class If(Node):
+    __slots__ = ("cond", "then", "orelse")
+
+    def __init__(self, cond, then, orelse, line):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then          # list of statements
+        self.orelse = orelse      # list of statements (possibly empty)
+
+
+class While(Node):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body, line):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class For(Node):
+    """``for (x in arr) { ... }`` — desugared to an index loop."""
+
+    __slots__ = ("var", "iterable", "body")
+
+    def __init__(self, var, iterable, body, line):
+        super().__init__(line)
+        self.var = var
+        self.iterable = iterable
+        self.body = body
+
+
+class Return(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value        # may be None
+
+
+class Throw(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value
+
+
+class ExprStmt(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, line):
+        super().__init__(line)
+        self.expr = expr
+
+
+class Assign(Node):
+    """``target = value`` where target is Name, FieldAccess, or Index."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target, value, line):
+        super().__init__(line)
+        self.target = target
+        self.value = value
+
+
+# -- expressions ------------------------------------------------------------------
+
+class Literal(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value
+
+
+class Name(Node):
+    __slots__ = ("id",)
+
+    def __init__(self, id_, line):
+        super().__init__(line)
+        self.id = id_
+
+
+class This(Node):
+    __slots__ = ()
+
+
+class BinOp(Node):
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op, lhs, rhs, line):
+        super().__init__(line)
+        self.op = op              # '+','-','*','/','%','==','!=','<','<=','>','>=','&&','||'
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class UnaryOp(Node):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand, line):
+        super().__init__(line)
+        self.op = op              # '-', '!'
+        self.operand = operand
+
+
+class Call(Node):
+    """``f(args)`` where f is a bare name: local closure, module function,
+    or builtin."""
+
+    __slots__ = ("func", "args")
+
+    def __init__(self, func, args, line):
+        super().__init__(line)
+        self.func = func
+        self.args = args
+
+
+class MethodCall(Node):
+    """``recv.name(args)``; if recv is a bare class/namespace name this is a
+    static call."""
+
+    __slots__ = ("recv", "name", "args")
+
+    def __init__(self, recv, name, args, line):
+        super().__init__(line)
+        self.recv = recv
+        self.name = name
+        self.args = args
+
+
+class FieldAccess(Node):
+    __slots__ = ("recv", "name")
+
+    def __init__(self, recv, name, line):
+        super().__init__(line)
+        self.recv = recv
+        self.name = name
+
+
+class Index(Node):
+    __slots__ = ("arr", "index")
+
+    def __init__(self, arr, index, line):
+        super().__init__(line)
+        self.arr = arr
+        self.index = index
+
+
+class ArrayLit(Node):
+    __slots__ = ("elements",)
+
+    def __init__(self, elements, line):
+        super().__init__(line)
+        self.elements = elements
+
+
+class New(Node):
+    __slots__ = ("class_name", "args")
+
+    def __init__(self, class_name, args, line):
+        super().__init__(line)
+        self.class_name = class_name
+        self.args = args
+
+
+class Lambda(Node):
+    __slots__ = ("params", "body")
+
+    def __init__(self, params, body, line):
+        super().__init__(line)
+        self.params = params
+        self.body = body          # list of statements
+
+
+class InstanceOf(Node):
+    """``expr is ClassName``."""
+
+    __slots__ = ("expr", "class_name")
+
+    def __init__(self, expr, class_name, line):
+        super().__init__(line)
+        self.expr = expr
+        self.class_name = class_name

@@ -1,0 +1,463 @@
+"""MiniJ to MiniJVM bytecode compiler.
+
+Lambdas compile to synthesized classes (``<Module>$L<n>``) whose captured
+variables become ``val`` fields and whose body becomes an ``apply`` method —
+the same shape Scala closures take in JVM bytecode, which is what lets the
+JIT's ``funR`` unfold them (paper 3.1).
+
+``Lancet.freeze(e)`` and ``Lancet.stable(e)`` take by-name arguments: the
+compiler wraps ``e`` in a zero-argument thunk, mirroring Scala's ``=> A``.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.builder import MethodBuilder
+from repro.bytecode.classfile import ClassFile
+from repro.bytecode.opcodes import Op
+from repro.errors import MiniJCompileError
+from repro.frontend import ast
+from repro.frontend.parser import parse
+
+# Bare-call builtins resolved to Builtins.* natives.
+BUILTIN_FUNCS = {
+    "len", "print", "println", "str", "split", "splitLines", "indexOf",
+    "contains", "charAt", "charCode", "fromCharCode", "substring",
+    "startsWith", "parseInt", "parseFloat", "newArray", "copyArray",
+    "concatArrays", "now",
+}
+
+# Lancet intrinsics whose first argument is by-name (wrapped in a thunk).
+BY_NAME_INTRINSICS = {"freeze", "stable"}
+
+
+def compile_source(source, module="Main", filename="<minij>"):
+    """Compile MiniJ ``source``; returns a list of ClassFiles (the module
+    class for top-level functions, declared classes, synthesized closure
+    classes)."""
+    program = parse(source)
+    ctx = _ModuleCtx(module, program)
+    module_cf = ClassFile(module, source_name=filename)
+    ctx.classfiles.append(module_cf)
+
+    for cdecl in program.classes:
+        cf = ClassFile(cdecl.name, super_name=cdecl.super_name,
+                       source_name=filename)
+        for fname, is_val in cdecl.fields:
+            cf.add_field(fname, is_val=is_val)
+        ctx.classfiles.append(cf)
+        ctx.class_decls[cdecl.name] = (cdecl, cf)
+
+    for cdecl in program.classes:
+        __, cf = ctx.class_decls[cdecl.name]
+        for mdecl in cdecl.methods:
+            fc = _FuncCompiler(ctx, mdecl, is_static=False, owner=cdecl)
+            cf.add_method(fc.compile())
+
+    for fdecl in program.functions:
+        fc = _FuncCompiler(ctx, fdecl, is_static=True, owner=None)
+        module_cf.add_method(fc.compile())
+
+    return ctx.classfiles
+
+
+class _ModuleCtx:
+    """Per-compilation-unit state."""
+
+    def __init__(self, module, program):
+        self.module = module
+        self.classfiles = []
+        self.class_decls = {}
+        self.function_names = {f.name for f in program.functions}
+        self.class_names = {c.name for c in program.classes}
+        self._lambda_counter = 0
+
+    def fresh_lambda_name(self):
+        self._lambda_counter += 1
+        return "%s$L%d" % (self.module, self._lambda_counter)
+
+
+class _FuncCompiler:
+    """Compiles one function, method, or lambda body to bytecode."""
+
+    def __init__(self, ctx, decl, is_static, owner, parent=None,
+                 lambda_name=None):
+        self.ctx = ctx
+        self.decl = decl
+        self.is_static = is_static
+        self.owner = owner             # enclosing ClassDecl for methods
+        self.parent = parent           # enclosing _FuncCompiler for lambdas
+        self.lambda_name = lambda_name
+        name = lambda_name and "apply" or decl.name
+        self.b = MethodBuilder(name, len(decl.params), is_static=is_static)
+        self.scopes = [{}]
+        base = 0 if is_static else 1
+        for i, p in enumerate(decl.params):
+            self.scopes[0][p] = base + i
+        # name -> capture field name; populated on demand during compilation.
+        self.captures = {}
+        self.captures_this = False
+
+    # -- scope handling ---------------------------------------------------------
+
+    def push_scope(self):
+        self.scopes.append({})
+
+    def pop_scope(self):
+        self.scopes.pop()
+
+    def declare(self, name):
+        slot = self.b.alloc_slot()
+        self.scopes[-1][name] = slot
+        return slot
+
+    def resolve_local(self, name):
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def resolve(self, name):
+        """Resolve a name: ('local', slot) | ('capture', field) | None."""
+        slot = self.resolve_local(name)
+        if slot is not None:
+            return ("local", slot)
+        if name in self.captures:
+            return ("capture", name)
+        if self.parent is not None and self.parent.resolve(name) is not None:
+            self.captures[name] = name
+            return ("capture", name)
+        return None
+
+    def err(self, node, msg):
+        raise MiniJCompileError("line %s: %s" % (node.line, msg))
+
+    # -- entry -------------------------------------------------------------------
+
+    def compile(self):
+        for stmt in self.decl.body:
+            self.compile_stmt(stmt)
+        return self.b.build()
+
+    # -- statements ------------------------------------------------------------------
+
+    def compile_stmt(self, stmt):
+        self.b.cur_line = stmt.line
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self.compile_expr(stmt.init)
+            else:
+                self.b.const(None)
+            slot = self.declare(stmt.name)
+            self.b.store(slot)
+        elif isinstance(stmt, ast.Assign):
+            self.compile_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self.compile_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.compile_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.compile_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.compile_expr(stmt.value)
+                self.b.ret_val()
+            else:
+                self.b.ret()
+        elif isinstance(stmt, ast.Throw):
+            self.compile_expr(stmt.value)
+            self.b.emit(Op.THROW)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.compile_expr(stmt.expr)
+            self.b.emit(Op.POP)
+        else:  # pragma: no cover
+            self.err(stmt, "unknown statement %r" % stmt)
+
+    def compile_assign(self, stmt):
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            res = self.resolve(target.id)
+            if res is None:
+                self.err(stmt, "assignment to undeclared variable %r"
+                         % target.id)
+            kind, where = res
+            if kind == "capture":
+                self.err(stmt, "cannot assign to captured variable %r "
+                               "(captures are by value)" % target.id)
+            self.compile_expr(stmt.value)
+            self.b.store(where)
+        elif isinstance(target, ast.FieldAccess):
+            self.check_val_assignment(target)
+            self.compile_expr(target.recv)
+            self.compile_expr(stmt.value)
+            self.b.putfield(target.name)
+        elif isinstance(target, ast.Index):
+            self.compile_expr(target.arr)
+            self.compile_expr(target.index)
+            self.compile_expr(stmt.value)
+            self.b.emit(Op.ASTORE)
+        else:  # pragma: no cover - parser restricts targets
+            self.err(stmt, "bad assignment target")
+
+    def check_val_assignment(self, target):
+        """Enforce assign-once ``val`` fields: writable only from ``init``
+        of the declaring class (via ``this``)."""
+        if self.owner is None or not isinstance(target.recv, ast.This):
+            return
+        for fname, is_val in self.owner.fields:
+            if fname == target.name and is_val:
+                if self.decl.name != "init" or self.lambda_name:
+                    self.err(target, "val field %r can only be assigned "
+                                     "in init" % fname)
+
+    def compile_if(self, stmt):
+        self.compile_expr(stmt.cond)
+        else_lbl = self.b.new_label()
+        end_lbl = self.b.new_label()
+        self.b.jif_false(else_lbl)
+        self.push_scope()
+        for s in stmt.then:
+            self.compile_stmt(s)
+        self.pop_scope()
+        self.b.jump(end_lbl)
+        self.b.label(else_lbl)
+        self.push_scope()
+        for s in stmt.orelse:
+            self.compile_stmt(s)
+        self.pop_scope()
+        self.b.label(end_lbl)
+
+    def compile_while(self, stmt):
+        head = self.b.new_label()
+        end = self.b.new_label()
+        self.b.label(head)
+        self.compile_expr(stmt.cond)
+        self.b.jif_false(end)
+        self.push_scope()
+        for s in stmt.body:
+            self.compile_stmt(s)
+        self.pop_scope()
+        self.b.jump(head)
+        self.b.label(end)
+
+    def compile_for(self, stmt):
+        """Desugar ``for (x in e)`` to an index loop over the array."""
+        self.push_scope()
+        self.compile_expr(stmt.iterable)
+        arr = self.b.alloc_slot()
+        self.b.store(arr)
+        idx = self.b.alloc_slot()
+        self.b.const(0).store(idx)
+        head = self.b.new_label()
+        end = self.b.new_label()
+        self.b.label(head)
+        self.b.load(idx).load(arr).emit(Op.ALEN).emit(Op.LT).jif_false(end)
+        self.push_scope()
+        var = self.declare(stmt.var)
+        self.b.load(arr).load(idx).emit(Op.ALOAD).store(var)
+        for s in stmt.body:
+            self.compile_stmt(s)
+        self.pop_scope()
+        self.b.load(idx).const(1).emit(Op.ADD).store(idx)
+        self.b.jump(head)
+        self.b.label(end)
+        self.pop_scope()
+
+    # -- expressions ---------------------------------------------------------------------
+
+    BINOPS = {"+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "/": Op.DIV,
+              "%": Op.MOD, "==": Op.EQ, "!=": Op.NE, "<": Op.LT,
+              "<=": Op.LE, ">": Op.GT, ">=": Op.GE}
+
+    def compile_expr(self, expr):
+        if isinstance(expr, ast.Literal):
+            self.b.const(expr.value)
+        elif isinstance(expr, ast.Name):
+            self.compile_name(expr)
+        elif isinstance(expr, ast.This):
+            self.compile_this(expr)
+        elif isinstance(expr, ast.BinOp):
+            self.compile_binop(expr)
+        elif isinstance(expr, ast.UnaryOp):
+            self.compile_expr(expr.operand)
+            self.b.emit(Op.NEG if expr.op == "-" else Op.NOT)
+        elif isinstance(expr, ast.Call):
+            self.compile_call(expr)
+        elif isinstance(expr, ast.MethodCall):
+            self.compile_method_call(expr)
+        elif isinstance(expr, ast.FieldAccess):
+            self.compile_expr(expr.recv)
+            self.b.getfield(expr.name)
+        elif isinstance(expr, ast.Index):
+            self.compile_expr(expr.arr)
+            self.compile_expr(expr.index)
+            self.b.emit(Op.ALOAD)
+        elif isinstance(expr, ast.ArrayLit):
+            for el in expr.elements:
+                self.compile_expr(el)
+            self.b.emit(Op.ARRAY_LIT, len(expr.elements))
+        elif isinstance(expr, ast.New):
+            self.compile_new(expr)
+        elif isinstance(expr, ast.Lambda):
+            self.compile_lambda(expr)
+        elif isinstance(expr, ast.InstanceOf):
+            self.compile_expr(expr.expr)
+            self.b.emit(Op.INSTANCEOF, expr.class_name)
+        else:  # pragma: no cover
+            self.err(expr, "unknown expression %r" % expr)
+
+    def compile_name(self, expr):
+        res = self.resolve(expr.id)
+        if res is None:
+            self.err(expr, "unknown variable %r" % expr.id)
+        kind, where = res
+        if kind == "local":
+            self.b.load(where)
+        else:
+            self.b.load(0)
+            self.b.getfield(where)
+
+    def compile_this(self, expr):
+        if self.lambda_name is not None:
+            # Inside a lambda, `this` means the enclosing instance.
+            comp = self.parent
+            while comp is not None and comp.lambda_name is not None:
+                comp = comp.parent
+            if comp is None or comp.is_static:
+                self.err(expr, "'this' used in a static context")
+            self._capture_this()
+            self.b.load(0)
+            self.b.getfield("$this")
+        else:
+            if self.is_static:
+                self.err(expr, "'this' used in a static context")
+            self.b.load(0)
+
+    def _capture_this(self):
+        self.captures_this = True
+        c = self
+        # Intermediate lambdas must also capture the enclosing `this`.
+        while c.parent is not None and c.parent.lambda_name is not None:
+            c = c.parent
+            c.captures_this = True
+
+    def compile_binop(self, expr):
+        if expr.op == "&&":
+            self.compile_expr(expr.lhs)
+            end = self.b.new_label()
+            self.b.emit(Op.DUP).jif_false(end)
+            self.b.emit(Op.POP)
+            self.compile_expr(expr.rhs)
+            self.b.label(end)
+            return
+        if expr.op == "||":
+            self.compile_expr(expr.lhs)
+            end = self.b.new_label()
+            self.b.emit(Op.DUP).jif_true(end)
+            self.b.emit(Op.POP)
+            self.compile_expr(expr.rhs)
+            self.b.label(end)
+            return
+        self.compile_expr(expr.lhs)
+        self.compile_expr(expr.rhs)
+        self.b.emit(self.BINOPS[expr.op])
+
+    def compile_call(self, expr):
+        """A bare-name call: local closure, builtin, or module function."""
+        name = expr.func
+        res = self.resolve(name)
+        if res is not None:
+            # Calling a closure held in a variable: load it, invoke apply.
+            self.compile_name(ast.Name(name, expr.line))
+            for a in expr.args:
+                self.compile_expr(a)
+            self.b.invoke("apply", len(expr.args))
+            return
+        if name == "len" and len(expr.args) == 1:
+            self.compile_expr(expr.args[0])
+            self.b.emit(Op.ALEN)
+            return
+        if name in BUILTIN_FUNCS:
+            for a in expr.args:
+                self.compile_expr(a)
+            self.b.invoke_static("Builtins", name, len(expr.args))
+            return
+        if name in self.ctx.function_names:
+            for a in expr.args:
+                self.compile_expr(a)
+            self.b.invoke_static(self.ctx.module, name, len(expr.args))
+            return
+        if self.owner is not None:
+            # Unqualified call to a sibling method: implicit this.
+            for mdecl in self.owner.methods:
+                if mdecl.name == name:
+                    self.compile_this(expr)
+                    for a in expr.args:
+                        self.compile_expr(a)
+                    self.b.invoke(name, len(expr.args))
+                    return
+        self.err(expr, "unknown function %r" % name)
+
+    def compile_method_call(self, expr):
+        recv = expr.recv
+        if isinstance(recv, ast.Name) and self.resolve(recv.id) is None:
+            # Static namespace call: Class.method(args).
+            if recv.id == "Lancet" and expr.name in BY_NAME_INTRINSICS:
+                if len(expr.args) != 1:
+                    self.err(expr, "Lancet.%s takes 1 argument" % expr.name)
+                thunk = ast.Lambda([], [ast.Return(expr.args[0], expr.line)],
+                                   expr.line)
+                self.compile_lambda(thunk)
+                self.b.invoke_static("Lancet", expr.name, 1)
+                return
+            for a in expr.args:
+                self.compile_expr(a)
+            self.b.invoke_static(recv.id, expr.name, len(expr.args))
+            return
+        self.compile_expr(recv)
+        for a in expr.args:
+            self.compile_expr(a)
+        self.b.invoke(expr.name, len(expr.args))
+
+    def compile_new(self, expr):
+        # `new C(args)` always invokes init; classes without an init accept
+        # the zero-argument form as a no-op (runtime rule).
+        self.b.new(expr.class_name)
+        self.b.emit(Op.DUP)
+        for a in expr.args:
+            self.compile_expr(a)
+        self.b.invoke("init", len(expr.args))
+        self.b.emit(Op.POP)
+
+    def compile_lambda(self, expr):
+        """Lambda-lift: compile the body into a synthesized closure class,
+        then emit allocation + capture-field stores at the creation site."""
+        cls_name = self.ctx.fresh_lambda_name()
+        decl = ast.FuncDecl("apply", expr.params, expr.body, expr.line,
+                            is_static=False)
+        inner = _FuncCompiler(self.ctx, decl, is_static=False,
+                              owner=self.owner, parent=self,
+                              lambda_name=cls_name)
+        apply_method = inner.compile()
+
+        cf = ClassFile(cls_name, is_closure=True)
+        if inner.captures_this:
+            cf.add_field("$this", is_val=True)
+        for cap in inner.captures:
+            cf.add_field(cap, is_val=True)
+        cf.add_method(apply_method)
+        self.ctx.classfiles.append(cf)
+
+        self.b.new(cls_name)
+        if inner.captures_this:
+            self.b.emit(Op.DUP)
+            if self.lambda_name is not None:
+                self._capture_this()
+                self.b.load(0)
+                self.b.getfield("$this")
+            else:
+                self.b.load(0)
+            self.b.putfield("$this")
+        for cap in inner.captures:
+            self.b.emit(Op.DUP)
+            self.compile_name(ast.Name(cap, expr.line))
+            self.b.putfield(cap)

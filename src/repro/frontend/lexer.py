@@ -1,0 +1,144 @@
+"""MiniJ lexer."""
+
+from __future__ import annotations
+
+from repro.errors import MiniJSyntaxError
+
+KEYWORDS = {
+    "class", "extends", "def", "var", "val", "if", "else", "while", "for",
+    "in", "return", "throw", "new", "fun", "this", "true", "false", "null",
+    "is",
+}
+
+TWO_CHAR = {"==", "!=", "<=", ">=", "&&", "||", "=>"}
+ONE_CHAR = set("+-*/%<>=!(){}[],.;:")
+
+
+class Token:
+    __slots__ = ("kind", "value", "line", "col")
+
+    def __init__(self, kind, value, line, col):
+        self.kind = kind    # 'int','float','str','name','kw','op','eof'
+        self.value = value
+        self.line = line
+        self.col = col
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.value)
+
+
+def tokenize(source):
+    """Tokenize MiniJ source; returns a list ending with an EOF token."""
+    tokens = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def err(msg):
+        raise MiniJSyntaxError(msg, line, col)
+
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                err("unterminated block comment")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if c == '"':
+            start_line, start_col = line, col
+            i += 1
+            col += 1
+            buf = []
+            while True:
+                if i >= n:
+                    err("unterminated string")
+                ch = source[i]
+                if ch == '"':
+                    i += 1
+                    col += 1
+                    break
+                if ch == "\\":
+                    if i + 1 >= n:
+                        err("bad escape at end of input")
+                    esc = source[i + 1]
+                    buf.append({"n": "\n", "t": "\t", '"': '"',
+                                "\\": "\\", "r": "\r"}.get(esc))
+                    if buf[-1] is None:
+                        err("unknown escape \\%s" % esc)
+                    i += 2
+                    col += 2
+                    continue
+                if ch == "\n":
+                    err("newline in string literal")
+                buf.append(ch)
+                i += 1
+                col += 1
+            tokens.append(Token("str", "".join(buf), start_line, start_col))
+            continue
+        if c.isdigit():
+            start = i
+            start_col = col
+            while i < n and source[i].isdigit():
+                i += 1
+            is_float = False
+            if i < n and source[i] == "." and i + 1 < n and source[i + 1].isdigit():
+                is_float = True
+                i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            if i < n and source[i] in "eE":
+                j = i + 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j < n and source[j].isdigit():
+                    is_float = True
+                    i = j
+                    while i < n and source[i].isdigit():
+                        i += 1
+            text = source[start:i]
+            col += i - start
+            tokens.append(Token("float" if is_float else "int",
+                                float(text) if is_float else int(text),
+                                line, start_col))
+            continue
+        if c.isalpha() or c == "_":
+            start = i
+            start_col = col
+            while i < n and (source[i].isalnum() or source[i] in "_$"):
+                i += 1
+            word = source[start:i]
+            col += i - start
+            kind = "kw" if word in KEYWORDS else "name"
+            tokens.append(Token(kind, word, line, start_col))
+            continue
+        two = source[i:i + 2]
+        if two in TWO_CHAR:
+            tokens.append(Token("op", two, line, col))
+            i += 2
+            col += 2
+            continue
+        if c in ONE_CHAR:
+            tokens.append(Token("op", c, line, col))
+            i += 1
+            col += 1
+            continue
+        err("unexpected character %r" % c)
+
+    tokens.append(Token("eof", None, line, col))
+    return tokens

@@ -1,0 +1,343 @@
+"""MiniJ recursive-descent parser."""
+
+from __future__ import annotations
+
+from repro.errors import MiniJSyntaxError
+from repro.frontend import ast
+from repro.frontend.lexer import tokenize
+
+
+def parse(source):
+    """Parse MiniJ source into an :class:`ast.Program`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    @property
+    def tok(self):
+        return self.tokens[self.pos]
+
+    def advance(self):
+        t = self.tokens[self.pos]
+        self.pos += 1
+        return t
+
+    def err(self, msg):
+        t = self.tok
+        raise MiniJSyntaxError("%s (got %r)" % (msg, t.value), t.line, t.col)
+
+    def check(self, kind, value=None):
+        t = self.tok
+        return t.kind == kind and (value is None or t.value == value)
+
+    def accept(self, kind, value=None):
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind, value=None):
+        if not self.check(kind, value):
+            self.err("expected %s" % (value or kind))
+        return self.advance()
+
+    # -- top level ---------------------------------------------------------------
+
+    def parse_program(self):
+        classes = []
+        functions = []
+        while not self.check("eof"):
+            if self.check("kw", "class"):
+                classes.append(self.parse_class())
+            elif self.check("kw", "def"):
+                functions.append(self.parse_func(is_static=True))
+            else:
+                self.err("expected 'class' or 'def'")
+        return ast.Program(classes, functions)
+
+    def parse_class(self):
+        line = self.expect("kw", "class").line
+        name = self.expect("name").value
+        super_name = None
+        if self.accept("kw", "extends"):
+            super_name = self.expect("name").value
+        self.expect("op", "{")
+        fields = []
+        methods = []
+        while not self.accept("op", "}"):
+            if self.check("kw", "var") or self.check("kw", "val"):
+                is_val = self.advance().value == "val"
+                while True:
+                    fname = self.expect("name").value
+                    fields.append((fname, is_val))
+                    if not self.accept("op", ","):
+                        break
+                self.expect("op", ";")
+            elif self.check("kw", "def"):
+                methods.append(self.parse_func(is_static=False))
+            else:
+                self.err("expected field or method")
+        return ast.ClassDecl(name, super_name, fields, methods, line)
+
+    def parse_func(self, is_static):
+        line = self.expect("kw", "def").line
+        name = self.expect("name").value
+        params = self.parse_params()
+        body = self.parse_block()
+        return ast.FuncDecl(name, params, body, line, is_static=is_static)
+
+    def parse_params(self):
+        self.expect("op", "(")
+        params = []
+        if not self.check("op", ")"):
+            while True:
+                params.append(self.expect("name").value)
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        return params
+
+    # -- statements ------------------------------------------------------------------
+
+    def parse_block(self):
+        self.expect("op", "{")
+        stmts = []
+        while not self.accept("op", "}"):
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_stmt(self):
+        t = self.tok
+        if t.kind == "kw":
+            if t.value == "var" or t.value == "val":
+                self.advance()
+                name = self.expect("name").value
+                init = None
+                if self.accept("op", "="):
+                    init = self.parse_expr()
+                self.expect("op", ";")
+                return ast.VarDecl(name, init, t.line)
+            if t.value == "if":
+                return self.parse_if()
+            if t.value == "while":
+                self.advance()
+                self.expect("op", "(")
+                cond = self.parse_expr()
+                self.expect("op", ")")
+                body = self.parse_block()
+                return ast.While(cond, body, t.line)
+            if t.value == "for":
+                self.advance()
+                self.expect("op", "(")
+                var = self.expect("name").value
+                self.expect("kw", "in")
+                iterable = self.parse_expr()
+                self.expect("op", ")")
+                body = self.parse_block()
+                return ast.For(var, iterable, body, t.line)
+            if t.value == "return":
+                self.advance()
+                value = None
+                if not self.check("op", ";"):
+                    value = self.parse_expr()
+                self.expect("op", ";")
+                return ast.Return(value, t.line)
+            if t.value == "throw":
+                self.advance()
+                value = self.parse_expr()
+                self.expect("op", ";")
+                return ast.Throw(value, t.line)
+        expr = self.parse_expr()
+        if self.accept("op", "="):
+            value = self.parse_expr()
+            self.expect("op", ";")
+            if not isinstance(expr, (ast.Name, ast.FieldAccess, ast.Index)):
+                raise MiniJSyntaxError("invalid assignment target", t.line, t.col)
+            return ast.Assign(expr, value, t.line)
+        self.expect("op", ";")
+        return ast.ExprStmt(expr, t.line)
+
+    def parse_if(self):
+        line = self.expect("kw", "if").line
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = self.parse_block()
+        orelse = []
+        if self.accept("kw", "else"):
+            if self.check("kw", "if"):
+                orelse = [self.parse_if()]
+            else:
+                orelse = self.parse_block()
+        return ast.If(cond, then, orelse, line)
+
+    # -- expressions (precedence climbing) ----------------------------------------------
+
+    def parse_expr(self):
+        return self.parse_or()
+
+    def parse_or(self):
+        lhs = self.parse_and()
+        while self.check("op", "||"):
+            line = self.advance().line
+            rhs = self.parse_and()
+            lhs = ast.BinOp("||", lhs, rhs, line)
+        return lhs
+
+    def parse_and(self):
+        lhs = self.parse_equality()
+        while self.check("op", "&&"):
+            line = self.advance().line
+            rhs = self.parse_equality()
+            lhs = ast.BinOp("&&", lhs, rhs, line)
+        return lhs
+
+    def parse_equality(self):
+        lhs = self.parse_relational()
+        while self.check("op", "==") or self.check("op", "!="):
+            t = self.advance()
+            rhs = self.parse_relational()
+            lhs = ast.BinOp(t.value, lhs, rhs, t.line)
+        return lhs
+
+    def parse_relational(self):
+        lhs = self.parse_additive()
+        while True:
+            if self.check("kw", "is"):
+                line = self.advance().line
+                cname = self.expect("name").value
+                lhs = ast.InstanceOf(lhs, cname, line)
+                continue
+            if (self.check("op", "<") or self.check("op", "<=")
+                    or self.check("op", ">") or self.check("op", ">=")):
+                t = self.advance()
+                rhs = self.parse_additive()
+                lhs = ast.BinOp(t.value, lhs, rhs, t.line)
+                continue
+            return lhs
+
+    def parse_additive(self):
+        lhs = self.parse_multiplicative()
+        while self.check("op", "+") or self.check("op", "-"):
+            t = self.advance()
+            rhs = self.parse_multiplicative()
+            lhs = ast.BinOp(t.value, lhs, rhs, t.line)
+        return lhs
+
+    def parse_multiplicative(self):
+        lhs = self.parse_unary()
+        while (self.check("op", "*") or self.check("op", "/")
+               or self.check("op", "%")):
+            t = self.advance()
+            rhs = self.parse_unary()
+            lhs = ast.BinOp(t.value, lhs, rhs, t.line)
+        return lhs
+
+    def parse_unary(self):
+        if self.check("op", "-") or self.check("op", "!"):
+            t = self.advance()
+            operand = self.parse_unary()
+            if t.value == "-" and isinstance(operand, ast.Literal) \
+                    and isinstance(operand.value, (int, float)):
+                return ast.Literal(-operand.value, t.line)
+            return ast.UnaryOp(t.value, operand, t.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self):
+        expr = self.parse_primary()
+        while True:
+            if self.accept("op", "."):
+                name = self.expect("name").value
+                if self.check("op", "("):
+                    args = self.parse_args()
+                    expr = ast.MethodCall(expr, name, args, self.tok.line)
+                else:
+                    expr = ast.FieldAccess(expr, name, self.tok.line)
+                continue
+            if self.check("op", "["):
+                line = self.advance().line
+                index = self.parse_expr()
+                self.expect("op", "]")
+                expr = ast.Index(expr, index, line)
+                continue
+            if self.check("op", "(") and isinstance(expr, ast.Name):
+                line = self.tok.line
+                args = self.parse_args()
+                expr = ast.Call(expr.id, args, line)
+                continue
+            if self.check("op", "(") and isinstance(expr, (ast.Lambda,
+                                                           ast.MethodCall,
+                                                           ast.FieldAccess,
+                                                           ast.Index,
+                                                           ast.Call)):
+                # Calling a computed closure value: e(...) => e.apply(...)
+                line = self.tok.line
+                args = self.parse_args()
+                expr = ast.MethodCall(expr, "apply", args, line)
+                continue
+            return expr
+
+    def parse_args(self):
+        self.expect("op", "(")
+        args = []
+        if not self.check("op", ")"):
+            while True:
+                args.append(self.parse_expr())
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        return args
+
+    def parse_primary(self):
+        t = self.tok
+        if t.kind in ("int", "float", "str"):
+            self.advance()
+            return ast.Literal(t.value, t.line)
+        if t.kind == "kw":
+            if t.value in ("true", "false"):
+                self.advance()
+                return ast.Literal(t.value == "true", t.line)
+            if t.value == "null":
+                self.advance()
+                return ast.Literal(None, t.line)
+            if t.value == "this":
+                self.advance()
+                node = ast.This(t.line)
+                return node
+            if t.value == "new":
+                self.advance()
+                cname = self.expect("name").value
+                args = self.parse_args()
+                return ast.New(cname, args, t.line)
+            if t.value == "fun":
+                self.advance()
+                params = self.parse_params()
+                if self.accept("op", "=>"):
+                    expr = self.parse_expr()
+                    body = [ast.Return(expr, t.line)]
+                else:
+                    body = self.parse_block()
+                return ast.Lambda(params, body, t.line)
+        if t.kind == "name":
+            self.advance()
+            return ast.Name(t.value, t.line)
+        if self.accept("op", "("):
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        if self.check("op", "["):
+            line = self.advance().line
+            elements = []
+            if not self.check("op", "]"):
+                while True:
+                    elements.append(self.parse_expr())
+                    if not self.accept("op", ","):
+                        break
+            self.expect("op", "]")
+            return ast.ArrayLit(elements, line)
+        self.err("expected expression")

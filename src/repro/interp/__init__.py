@@ -1,0 +1,7 @@
+"""The MiniJVM interpreter Lancet is derived from (paper Fig. 6)."""
+
+from repro.interp.frame import Frame, InterpreterFrame
+from repro.interp.interpreter import Interpreter, GuestThrow
+from repro.interp.profiler import Profiler
+
+__all__ = ["Frame", "InterpreterFrame", "Interpreter", "GuestThrow", "Profiler"]

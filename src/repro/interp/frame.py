@@ -1,0 +1,81 @@
+"""Interpreter frames, mirroring the paper's Fig. 6.
+
+``Frame`` holds an array of locals; ``InterpreterFrame`` extends it with a
+link to a method, a bytecode index, and an operand stack mapped onto the
+tail of the locals array via a top-of-stack pointer (``tos``) — the same
+layout the Graal interpreter uses and the same structure the staged
+interpreter re-uses with ``Rep`` values in the slots.
+"""
+
+from __future__ import annotations
+
+
+class Frame:
+    """A flat array of local slots with a parent link."""
+
+    __slots__ = ("locals", "parent")
+
+    def __init__(self, num_slots, parent=None):
+        self.locals = [None] * num_slots
+        self.parent = parent
+
+    def set_local(self, index, value):
+        self.locals[index] = value
+
+    def get_local(self, index):
+        return self.locals[index]
+
+
+class InterpreterFrame(Frame):
+    """A frame executing ``method``; the operand stack occupies slots
+    ``[method.num_locals, tos)``."""
+
+    __slots__ = ("method", "bci", "tos")
+
+    def __init__(self, method, parent=None, extra_stack=0):
+        super().__init__(method.num_locals + method_stack_size(method)
+                         + extra_stack, parent)
+        self.method = method
+        self.bci = 0
+        self.tos = method.num_locals
+
+    def push(self, value):
+        if self.tos >= len(self.locals):
+            self.locals.append(value)
+        else:
+            self.locals[self.tos] = value
+        self.tos += 1
+
+    def pop(self):
+        self.tos -= 1
+        v = self.locals[self.tos]
+        self.locals[self.tos] = None
+        return v
+
+    def peek(self, depth=0):
+        return self.locals[self.tos - 1 - depth]
+
+    def stack_values(self):
+        """The current operand stack, bottom to top."""
+        return self.locals[self.method.num_locals:self.tos]
+
+    def set_stack(self, values):
+        base = self.method.num_locals
+        for i, v in enumerate(values):
+            self.locals[base + i] = v
+        self.tos = base + len(values)
+
+    def __repr__(self):
+        return "<frame %s@%d stack=%d>" % (
+            self.method.qualified_name, self.bci,
+            self.tos - self.method.num_locals)
+
+
+def method_stack_size(method):
+    """Memoized conservative operand-stack bound for ``method``."""
+    size = getattr(method, "_stack_size", None)
+    if size is None:
+        from repro.bytecode.classfile import max_stack
+        size = max_stack(method.code) + 1
+        method._stack_size = size
+    return size

@@ -1,0 +1,6 @@
+"""The user-facing JIT API (paper Fig. 2 and section 3.1)."""
+
+from repro.jit.api import Lancet
+from repro.jit.cache import CodeCache, make_jit, make_hot
+
+__all__ = ["Lancet", "CodeCache", "make_jit", "make_hot"]

@@ -1,0 +1,226 @@
+"""The Lancet facade: explicit JIT compilation for MiniJVM programs.
+
+Typical host-side use::
+
+    from repro import Lancet
+
+    jit = Lancet()
+    jit.load(minij_source)
+    result = jit.vm.call("Main", "main")           # interpreted
+    fast = jit.compile_function("Main", "work")     # explicit compilation
+    fast(42)                                        # compiled execution
+
+Guest code can equally invoke the JIT itself via ``Lancet.compile(f)``
+(the paper's primary mode), plus the whole surgical toolbox: ``freeze``,
+``unroll``, ``ntimes``, inlining directives, ``speculate``/``stable``,
+``slowpath``/``fastpath``, ``checkNoAlloc``, taint tracking, and the
+Delite accelerator macros.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.compiled import CompiledFunction, ContinuationClosure
+from repro.compiler.deopt import reconstruct_frames
+from repro.compiler.options import CompileOptions
+from repro.compiler.stagedinterp import (AbstractFrame, MachineState,
+                                         StagedInterpreter)
+from repro.errors import (CompilationError, CompilationWarningList,
+                          GuestTypeError, NoAllocError, TaintError)
+from repro.interp.interpreter import Interpreter
+from repro.lms.codegen_py import PyCodegen
+from repro.lms.rep import Sym
+from repro.macros.registry import MacroRegistry
+from repro.runtime.objects import Obj
+
+
+class Lancet:
+    """A VM plus an explicitly-invokable JIT compiler."""
+
+    def __init__(self, vm=None, options=None):
+        self.vm = vm if vm is not None else Interpreter()
+        self.vm.jit = self
+        self.options = options if options is not None else CompileOptions()
+        self.macros = MacroRegistry()
+        from repro.macros.core import install_core_macros
+        install_core_macros(self.macros)
+        self.compile_log = []     # (unit name, CompiledFunction)
+        from repro.delite.runtime import DeliteRuntime
+        self.delite = DeliteRuntime()
+        self.vm.delite = self.delite
+
+    # -- loading -----------------------------------------------------------------
+
+    def load(self, source, module="Main"):
+        from repro.frontend.compiler import compile_source
+        return self.vm.load_classes(compile_source(source, module=module))
+
+    def install_macro(self, class_name, method_name, fn):
+        self.macros.install(class_name, method_name, fn)
+
+    def install_macros(self, class_name, macros_obj):
+        self.macros.install_class(class_name, macros_obj)
+
+    def mark_stable(self, class_name, field_name):
+        """Declare ``class.field`` @stable (paper 3.2)."""
+        self.vm.linker.mark_stable_field(class_name, field_name)
+
+    # -- explicit compilation (paper Fig. 2: compile[T,U]) --------------------------
+
+    def compile_closure(self, closure, options=None):
+        """JIT-compile a guest closure; returns a callable
+        :class:`CompiledFunction` specialized to the closure's captured
+        state (partial evaluation against live heap objects)."""
+        if not isinstance(closure, Obj):
+            raise GuestTypeError("compile() needs a guest closure, got %r"
+                                 % (closure,))
+        method = closure.cls.lookup_method("apply")
+        if method is None:
+            raise GuestTypeError("compile(): %s has no apply method"
+                                 % closure.cls.name)
+
+        def rebuild():
+            return self._compile_unit(
+                method, receiver=closure, options=options,
+                name="%s.apply" % closure.cls.name, recompile=rebuild)
+
+        return rebuild()
+
+    def compile_function(self, class_name, method_name, options=None):
+        """JIT-compile a static guest method for dynamic arguments."""
+        method = self.vm.linker.resolve_static(class_name, method_name)
+
+        def rebuild():
+            return self._compile_unit(
+                method, receiver=None, options=options,
+                name=method.qualified_name, recompile=rebuild)
+
+        return rebuild()
+
+    def compile_method(self, class_name, method_name, receiver,
+                       options=None):
+        """JIT-compile an instance method against a specific receiver."""
+        cls = self.vm.linker.resolve_class(class_name)
+        method = self.vm.linker.resolve_virtual(cls, method_name)
+
+        def rebuild():
+            return self._compile_unit(
+                method, receiver=receiver, options=options,
+                name=method.qualified_name, recompile=rebuild)
+
+        return rebuild()
+
+    # -- internals -------------------------------------------------------------------
+
+    def _initial_scope(self, options):
+        scope = {"inline": options.inline_policy}
+        if options.check_noalloc:
+            scope["noalloc"] = True
+        if options.check_taint:
+            scope["checktaint"] = True
+        return scope
+
+    def _compile_unit(self, method, receiver, options=None, name="unit",
+                      recompile=None, entry_frames=None):
+        options = options or self.options
+        machine = StagedInterpreter(self.vm, self.macros, options)
+        scope = self._initial_scope(options)
+
+        if entry_frames is None:
+            nparams = method.num_params
+            param_names = ["a%d" % (i + 1) for i in range(nparams)]
+
+            def build_entry():
+                frame = AbstractFrame(method, scope=dict(scope))
+                base = 0
+                if not method.is_static:
+                    frame.locals[0] = machine.ctx.lift(receiver)
+                    base = 1
+                for i in range(nparams):
+                    frame.locals[base + i] = Sym(param_names[i])
+                return MachineState(frame)
+        else:
+            param_names = []
+
+            def build_entry():
+                parent = None
+                for cf in entry_frames:
+                    af = AbstractFrame(cf.method, parent=parent,
+                                       scope=dict(scope))
+                    af.bci = cf.bci
+                    for i in range(cf.method.num_locals):
+                        af.locals[i] = machine.ctx.lift(cf.get_local(i))
+                    for v in cf.stack_values():
+                        af.push(machine.ctx.lift(v))
+                    parent = af
+                return MachineState(parent)
+
+        result = machine.compile_unit(build_entry, param_names)
+        self._enforce_demands(result, options, name)
+        compiled = self._emit(result, param_names, name, recompile,
+                              fuse=options.delite_fusion)
+        for obj, field in result.stable_deps:
+            obj.add_stable_dep(field, compiled)
+        self.compile_log.append((name, compiled))
+        return compiled
+
+    def _enforce_demands(self, result, options, name):
+        if result.leaks:
+            raise TaintError(
+                "taint analysis of %s found %d leak(s)" % (
+                    name, len(result.leaks)), leaks=result.leaks)
+        if result.noalloc_sites:
+            raise NoAllocError(
+                "checkNoAlloc failed for %s: %d residual allocation/deopt "
+                "site(s)" % (name, len(result.noalloc_sites)),
+                sites=result.noalloc_sites)
+        if options.warnings_as_errors and result.warnings:
+            raise CompilationWarningList(result.warnings)
+
+    def _emit(self, result, param_names, name, recompile, fuse=True):
+        metas = result.metas
+        vm = self.vm
+        codegen = PyCodegen(vm, result.statics, metas)
+
+        def callv(recv, mname, args):
+            return vm.call_virtual(recv, mname, args)
+
+        def callm(method, recv, args):
+            return vm.invoke_method(method, recv, args)
+
+        def mkcont(meta_id, lives):
+            return ContinuationClosure(vm, metas[meta_id], list(lives))
+
+        def osr(meta_id, lives):
+            return self._osr_execute(metas[meta_id], lives)
+
+        if fuse:
+            from repro.delite.fusion import fuse_delite
+            fuse_delite(result.blocks, jit=self)
+        fn, source = codegen.generate(result.blocks, result.entry_bid,
+                                      param_names, callv, callm, mkcont, osr)
+        compiled = CompiledFunction(self, fn, source, metas,
+                                    recompile=recompile, name=name,
+                                    warnings=result.warnings)
+        compiled.ir = result   # post-optimization IR, for introspection
+        return compiled
+
+    def _osr_execute(self, meta, lives):
+        """``fastpath``: compile the captured continuation with the current
+        values as compile-time constants, then run it (paper 3.2)."""
+        leaf = reconstruct_frames(meta, lives)
+        frames = []
+        f = leaf
+        while f is not None:
+            frames.append(f)
+            f = f.parent
+        frames.reverse()
+        try:
+            compiled = self._compile_unit(
+                leaf.method, receiver=None, name="osr@%s:%d"
+                % (leaf.method.qualified_name, leaf.bci),
+                entry_frames=frames)
+        except CompilationError:
+            # Recompilation failed; fall back to interpreting.
+            leaf = reconstruct_frames(meta, lives)
+            return self.vm.run_frames(leaf)
+        return compiled()

@@ -1,0 +1,171 @@
+"""Code caching and on-demand compilation (paper 3.1).
+
+The paper's point: instead of relying on VM-internal black-box caches,
+programs implement their own policies in a few lines::
+
+    val cache = new WeakHashMap[Int, Int=>Int]
+    def calcJIT(x, y) = cache.getOrElseUpdate(x, compile(z => calc(x, z)))(y)
+
+Here we provide the generalized combinators: :func:`make_jit` specializes
+a two-argument guest function on its first argument with a
+:class:`CodeCache` (pluggable eviction), and :func:`make_hot` adds
+profile-driven compilation ("only after a certain value becomes hot").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.bytecode.builder import MethodBuilder
+from repro.bytecode.classfile import ClassFile
+from repro.errors import GuestTypeError
+from repro.runtime.objects import new_instance
+
+
+class CodeCache:
+    """An LRU code cache with a pluggable eviction hook.
+
+    "We could easily extend our cache with a custom eviction policy" — so
+    the policy is a constructor argument: ``on_evict(key, compiled)``.
+    """
+
+    def __init__(self, capacity=None, on_evict=None):
+        self.capacity = capacity
+        self.on_evict = on_evict
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
+        return entry
+
+    def put(self, key, compiled):
+        self._entries[key] = compiled
+        self._entries.move_to_end(key)
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            old_key, old = self._entries.popitem(last=False)
+            if self.on_evict is not None:
+                self.on_evict(old_key, old)
+        return compiled
+
+    def get_or_else_update(self, key, compile_fn):
+        entry = self.get(key)
+        if entry is None:
+            entry = self.put(key, compile_fn())
+        return entry
+
+    def invalidate_all(self, reason="cache flush"):
+        for compiled in self._entries.values():
+            compiled.invalidate(reason)
+        self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+
+_SYNTH_COUNTER = [0]
+
+
+def _partial_applier_class(jit, class_name, method_name):
+    """Synthesize ``class C { val x; def apply(z) { return Cls.m(this.x, z); } }``
+    — the guest closure ``z => f(x, z)`` built from the host side."""
+    _SYNTH_COUNTER[0] += 1
+    name = "JitCache$%s$%s$%d" % (class_name, method_name, _SYNTH_COUNTER[0])
+    cf = ClassFile(name, is_closure=True)
+    cf.add_field("x", is_val=True)
+    b = MethodBuilder("apply", 1, is_static=False)
+    b.load(0).getfield("x")
+    b.load(1)
+    b.invoke_static(class_name, method_name, 2)
+    b.ret_val()
+    cf.add_method(b.build())
+    jit.vm.load_classes([cf])
+    return jit.vm.linker.resolve_class(name)
+
+
+def make_jit(jit, class_name, method_name, cache=None):
+    """Specialize the static 2-argument guest method ``class.method`` on
+    its first argument, compiling one variant per distinct value.
+
+    Returns ``call(x, y)``; guarantees that execution always runs a code
+    path in which ``x`` is a compile-time constant.
+    """
+    method = jit.vm.linker.resolve_static(class_name, method_name)
+    if method.num_params != 2:
+        raise GuestTypeError("make_jit needs a 2-argument function")
+    closure_cls = _partial_applier_class(jit, class_name, method_name)
+    if cache is None:
+        cache = CodeCache()
+
+    def call(x, y):
+        def compile_variant():
+            closure = new_instance(closure_cls)
+            closure.fields["x"] = x
+            return jit.compile_closure(closure)
+        return cache.get_or_else_update(x, compile_variant)(y)
+
+    call.cache = cache
+    return call
+
+
+def make_hot(jit, class_name, method_name, threshold=2, cache=None,
+             background=False):
+    """Like :func:`make_jit`, but only compiles a variant after its first
+    argument has been seen ``threshold`` times; colder values run in the
+    interpreter (amortizing compilation cost, paper's ``calcHOT``).
+
+    With ``background=True``, compilation is submitted to a worker thread
+    ("we could add background compilation by submitting the actual
+    compilation as a task to a worker thread"): calls keep interpreting
+    until the compiled variant lands in the cache.
+    """
+    jitted = make_jit(jit, class_name, method_name, cache=cache)
+    profile = {}
+    pending = {}
+    closure_cls = _partial_applier_class(jit, class_name, method_name)
+
+    def compile_variant(x):
+        closure = new_instance(closure_cls)
+        closure.fields["x"] = x
+        return jit.compile_closure(closure)
+
+    def call(x, y):
+        if x in jitted.cache:
+            return jitted(x, y)
+        seen = profile.get(x, 0)
+        if seen < threshold:
+            profile[x] = seen + 1
+            return jit.vm.call(class_name, method_name, [x, y])
+        if not background:
+            return jitted(x, y)
+        # Hot, background mode: kick off compilation once, keep
+        # interpreting until it finishes.
+        worker = pending.get(x)
+        if worker is None:
+            import threading
+
+            def task():
+                jitted.cache.put(x, compile_variant(x))
+
+            worker = threading.Thread(target=task, daemon=True)
+            pending[x] = worker
+            worker.start()
+        if not worker.is_alive():
+            pending.pop(x, None)
+            if x in jitted.cache:
+                return jitted(x, y)
+        return jit.vm.call(class_name, method_name, [x, y])
+
+    call.cache = jitted.cache
+    call.profile = profile
+    call.pending = pending
+    return call

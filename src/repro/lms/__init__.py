@@ -1,0 +1,14 @@
+"""LMS-style staging: Rep values, an IR of staged definitions, and code
+generation (paper section 2.1).
+
+Where the paper's LMS generates JVM-level code through Graal, this package
+generates Python source and compiles it with ``exec`` — Python source is
+this reproduction's "native code" (see DESIGN.md, substitutions).
+"""
+
+from repro.lms.rep import Rep, Sym, ConstRep, StaticRep
+from repro.lms.ir import Stmt, Effect, Block, Jump, Branch, Return, Deopt, OsrCompile
+from repro.lms.staging import StagingContext
+
+__all__ = ["Rep", "Sym", "ConstRep", "StaticRep", "Stmt", "Effect", "Block",
+           "Jump", "Branch", "Return", "Deopt", "OsrCompile", "StagingContext"]

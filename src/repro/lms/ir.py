@@ -1,0 +1,138 @@
+"""IR statements, effects, blocks, and terminators.
+
+The staged interpreter produces a CFG of :class:`Block` objects. Each block
+holds straight-line :class:`Stmt` definitions and ends in exactly one
+terminator. Cross-block dataflow uses either the predecessor's own symbols
+(single-predecessor "continuation" blocks) or explicit block parameters
+assigned by the predecessors (merge blocks) — a block-argument form of SSA.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Effect(enum.Enum):
+    PURE = "pure"      # foldable, CSE-able, dead-code removable
+    ALLOC = "alloc"    # removable when unused; ordered w.r.t. nothing
+    READ = "read"      # heap/array read; may raise; not removable
+    WRITE = "write"    # heap/array write
+    IO = "io"          # externally visible
+    CALL = "call"      # residual call: arbitrary effects
+    GUARD = "guard"    # deoptimization check
+
+
+class Stmt:
+    """``sym = op(args)``. ``args`` mixes Reps and immediate operands
+    (field names, class refs, native refs). ``flags`` carries dynamically
+    scoped attributes active at emission (e.g. ``noalloc``) plus type
+    facts the code generator may exploit."""
+
+    __slots__ = ("sym", "op", "args", "effect", "flags")
+
+    def __init__(self, sym, op, args, effect, flags=None):
+        self.sym = sym
+        self.op = op
+        self.args = tuple(args)
+        self.effect = effect
+        self.flags = flags or {}
+
+    def __repr__(self):
+        return "%s = %s(%s)" % (self.sym, self.op,
+                                ", ".join(map(repr, self.args)))
+
+
+# -- terminators -----------------------------------------------------------------
+
+class Jump:
+    __slots__ = ("target", "phi_assigns")
+
+    def __init__(self, target, phi_assigns=()):
+        self.target = target            # block id
+        self.phi_assigns = list(phi_assigns)  # [(param_name, rep)]
+
+    def successors(self):
+        return [self.target]
+
+    def __repr__(self):
+        return "jump B%d %r" % (self.target, self.phi_assigns)
+
+
+class Branch:
+    __slots__ = ("cond", "true_target", "true_assigns",
+                 "false_target", "false_assigns")
+
+    def __init__(self, cond, true_target, true_assigns,
+                 false_target, false_assigns):
+        self.cond = cond
+        self.true_target = true_target
+        self.true_assigns = list(true_assigns)
+        self.false_target = false_target
+        self.false_assigns = list(false_assigns)
+
+    def successors(self):
+        return [self.true_target, self.false_target]
+
+    def __repr__(self):
+        return "branch %r ? B%d : B%d" % (self.cond, self.true_target,
+                                          self.false_target)
+
+
+class Return:
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def successors(self):
+        return []
+
+    def __repr__(self):
+        return "return %r" % (self.value,)
+
+
+class Deopt:
+    """Unconditional transfer to the interpreter (``slowpath``)."""
+
+    __slots__ = ("meta_id", "lives")
+
+    def __init__(self, meta_id, lives):
+        self.meta_id = meta_id
+        self.lives = list(lives)
+
+    def successors(self):
+        return []
+
+    def __repr__(self):
+        return "deopt #%d" % self.meta_id
+
+
+class OsrCompile:
+    """Recompile the continuation with current values as constants and
+    invoke it (``fastpath``)."""
+
+    __slots__ = ("meta_id", "lives")
+
+    def __init__(self, meta_id, lives):
+        self.meta_id = meta_id
+        self.lives = list(lives)
+
+    def successors(self):
+        return []
+
+    def __repr__(self):
+        return "osr_compile #%d" % self.meta_id
+
+
+class Block:
+    __slots__ = ("block_id", "stmts", "terminator", "params")
+
+    def __init__(self, block_id, params=()):
+        self.block_id = block_id
+        self.params = list(params)      # param names (merge blocks only)
+        self.stmts = []
+        self.terminator = None
+
+    def __repr__(self):
+        return "Block(%d, %d stmts, %r)" % (self.block_id, len(self.stmts),
+                                            self.terminator)

@@ -1,0 +1,73 @@
+"""Staged values (``Rep[T]`` in the paper).
+
+A ``Rep`` denotes a piece of generated code that computes a value when the
+compiled function executes later:
+
+* :class:`Sym` — a named intermediate result (one per IR statement, or a
+  block parameter at control-flow joins);
+* :class:`ConstRep` — an embedded primitive constant;
+* :class:`StaticRep` — a reference to a pre-existing heap object, compiled
+  as an index into the function's statics table.
+"""
+
+from __future__ import annotations
+
+
+class Rep:
+    __slots__ = ()
+
+
+class Sym(Rep):
+    """A staged intermediate value, identified by its variable name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __eq__(self, other):
+        return isinstance(other, Sym) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("Sym", self.name))
+
+    def __repr__(self):
+        return self.name
+
+
+class ConstRep(Rep):
+    """A compile-time constant embedded in generated code."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other):
+        return (isinstance(other, ConstRep) and other.value == self.value
+                and type(other.value) is type(self.value))
+
+    def __hash__(self):
+        return hash(("ConstRep", self.value))
+
+    def __repr__(self):
+        return "c(%r)" % (self.value,)
+
+
+class StaticRep(Rep):
+    """A pre-existing object, reachable as ``K[index]`` in generated code."""
+
+    __slots__ = ("index", "obj")
+
+    def __init__(self, index, obj):
+        self.index = index
+        self.obj = obj
+
+    def __eq__(self, other):
+        return isinstance(other, StaticRep) and other.index == self.index
+
+    def __hash__(self):
+        return hash(("StaticRep", self.index))
+
+    def __repr__(self):
+        return "K[%d]" % self.index

@@ -1,0 +1,15 @@
+"""JIT macros: compile-time callbacks into the running program (paper 2.3).
+
+A macro intercepts a method call during compilation and decides how to
+translate it. Macros receive a :class:`MacroContext` exposing the
+compiler's internals (``evalA``, ``evalM``, ``funR``-style inlining,
+emission, speculation) and return either a staged value or a directive
+telling the staged interpreter what to do next.
+"""
+
+from repro.macros.api import (MacroContext, MacroInline, SlowpathDirective,
+                              FastpathDirective, ReturnDirective)
+from repro.macros.registry import MacroRegistry
+
+__all__ = ["MacroContext", "MacroInline", "SlowpathDirective",
+           "FastpathDirective", "ReturnDirective", "MacroRegistry"]

@@ -1,0 +1,47 @@
+"""Control macros: slowpath / fastpath / shift / reset (paper 3.2).
+
+``slowpath()`` and ``fastpath()`` perform on-stack replacement: they
+discard the rest of the compiled continuation and replace it with an
+interpreted (slowpath) or freshly-compiled (fastpath) version. Both are
+built on the same mechanism as ``shiftR``: the chain of abstract frames
+*is* the current continuation, and deopt metadata reifies it.
+
+``shift(f)`` passes the current continuation — reified as a runtime
+closure — to ``f`` and makes ``f``'s result the result of the compiled
+unit (the delimiter is the enclosing ``compile`` boundary).
+"""
+
+from __future__ import annotations
+
+from repro.macros.api import (FastpathDirective, ReturnDirective,
+                              SlowpathDirective)
+
+
+def slowpath(ctx, recv, args):
+    """Continue this execution in the interpreter from here on."""
+    return SlowpathDirective(result=None)
+
+
+def fastpath(ctx, recv, args):
+    """Recompile the current continuation with current values as
+    constants, then run it."""
+    return FastpathDirective(result=None)
+
+
+def shift(ctx, recv, args):
+    """Delimited control: ``shift(f)`` calls ``f`` with the current
+    continuation; the continuation is aborted (its value is whatever
+    ``f`` returns)."""
+    k = ctx.machine.make_continuation(ctx.state)
+
+    def after(machine, state, result):
+        return ReturnDirective(result)
+
+    return ctx.fun_r(args[0], [k], on_return=after)
+
+
+def reset(ctx, recv, args):
+    """Delimiter marker. In this implementation the delimiter is the
+    compiled-unit boundary, so ``reset`` simply inlines its thunk; it
+    exists so code using shift/reset reads like the paper's."""
+    return ctx.fun_r(args[0], [])

@@ -1,0 +1,114 @@
+"""Core Lancet macros: freeze, unroll, ntimes, nested compile (paper
+Fig. 2 / sections 2.3 and 3.1), plus installation of the whole macro set.
+
+Each user-facing ``Lancet.*`` method is declared guest-side as (roughly)
+an identity function (see :mod:`repro.runtime.natives`); the macros here
+give them their compile-time meaning::
+
+    object LancetMacros {
+      def freeze[A](f: Rep[() => A]): Rep[A] = liftConst(evalM(f)())
+    }
+"""
+
+from __future__ import annotations
+
+from repro.absint.absval import Partial, PartialArray
+from repro.bytecode.builder import MethodBuilder
+from repro.bytecode.opcodes import Op
+from repro.errors import FreezeError, MacroError, MaterializeError, UnrollError
+from repro.macros.api import MacroInline
+
+_NTIMES_CACHE = {}
+
+
+def freeze(ctx, recv, args):
+    """Evaluate the (thunked) argument at JIT-compile time; the result is
+    embedded as a constant. Fails loudly if the argument is dynamic.
+
+    Implemented by *partially evaluating* the thunk body under a ``freeze``
+    scope (which also licenses folding of allocating natives like
+    ``split``): the thunk may capture partially-dynamic objects as long as
+    the frozen expression itself only touches their static parts.
+    """
+    def after(machine, state, rep):
+        av = machine.eval_abs(state, rep)
+        if av.is_static_value:
+            return machine.ctx.lift(machine.static_value(state, rep))
+        if isinstance(av, (Partial, PartialArray)):
+            try:
+                return machine.ctx.lift(machine.eval_m(state, rep))
+            except MaterializeError as exc:
+                raise FreezeError("freeze: result is only partially "
+                                  "static: %s" % exc)
+        raise FreezeError(
+            "freeze: argument cannot be evaluated at compile time "
+            "(abstract value: %r)" % (av,))
+
+    return ctx.fun_r(args[0], [], on_return=after,
+                     scope_updates={"freeze": True})
+
+
+def unroll(ctx, recv, args):
+    """Mark subsequent loops in the current dynamic scope for unrolling
+    (polyvariant loop-header cloning instead of widening)."""
+    ctx.scope()["unroll"] = True
+    return args[0]
+
+
+def _ntimes_body(n):
+    """Synthesize ``def ntimes$n(f) { f(0); f(1); ... }`` — unfolding the
+    loop at compile time (the paper's staging-time for-loop)."""
+    method = _NTIMES_CACHE.get(n)
+    if method is None:
+        b = MethodBuilder("ntimes$%d" % n, 1, is_static=True)
+        for i in range(n):
+            b.load(0).const(i).invoke("apply", 1).emit(Op.POP)
+        b.ret()
+        method = b.build()
+        method.class_name = "Lancet$synth"
+        _NTIMES_CACHE[n] = method
+    return method
+
+
+def ntimes(ctx, recv, args):
+    """``ntimes(n)(f)``: unroll ``f(0) .. f(n-1)``; ``n`` must be static."""
+    n_rep, f_rep = args
+    try:
+        n = ctx.eval_m(n_rep)
+    except Exception as exc:
+        raise UnrollError("ntimes: trip count is not static: %s" % exc)
+    if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+        raise MacroError("ntimes: bad trip count %r" % (n,))
+    if n > 100_000:
+        raise UnrollError("ntimes: refusing to unroll %d iterations" % n)
+    return MacroInline(_ntimes_body(n), [f_rep])
+
+
+def compile_macro(ctx, recv, args):
+    """``Lancet.compile`` encountered *during* compilation: run the nested
+    explicit compilation now and embed the resulting compiled closure."""
+    closure = ctx.eval_m(args[0])
+    compiled = ctx.vm.jit.compile_closure(closure)
+    return ctx.lift(compiled)
+
+
+def install_core_macros(registry):
+    from repro.macros import control, directives, speculate
+    registry.install("Lancet", "freeze", freeze)
+    registry.install("Lancet", "unroll", unroll)
+    registry.install("Lancet", "ntimes", ntimes)
+    registry.install("Lancet", "compile", compile_macro)
+    registry.install("Lancet", "likely", speculate.likely)
+    registry.install("Lancet", "speculate", speculate.speculate)
+    registry.install("Lancet", "stable", speculate.stable)
+    registry.install("Lancet", "slowpath", control.slowpath)
+    registry.install("Lancet", "fastpath", control.fastpath)
+    registry.install("Lancet", "shift", control.shift)
+    registry.install("Lancet", "reset", control.reset)
+    for name in ("inlineAlways", "inlineNever", "inlineNonRec",
+                 "unrollTopLevel", "checkNoAlloc", "checkNoTaint"):
+        registry.install("Lancet", name, directives.scoped_directive(name))
+    registry.install("Lancet", "atScope", directives.at_scope)
+    registry.install("Lancet", "inScope", directives.in_scope)
+    registry.install("Lancet", "taint", directives.taint)
+    registry.install("Lancet", "untaint", directives.untaint)

@@ -1,0 +1,80 @@
+"""Dynamically-scoped compilation directives (paper 3.1 and 3.3).
+
+``inlineAlways { ... }`` etc. attach policy to a *dynamic scope*: the
+directive applies to everything compiled inside the thunk, including
+transitively inlined callees, until superseded by a closer directive.
+``atScope``/``inScope`` trigger a directive only once a method matching a
+pattern is entered — "decisions can be controlled in a non-local and
+compositional way".
+"""
+
+from __future__ import annotations
+
+from repro.absint.absval import Const
+from repro.errors import MacroError
+from repro.lms.ir import Effect
+
+_SCOPED = {
+    "inlineAlways": {"inline": "always"},
+    "inlineNever": {"inline": "never"},
+    "inlineNonRec": {"inline": "nonrec"},
+    "unrollTopLevel": {"unroll": True},
+    "checkNoAlloc": {"noalloc": True},
+    "checkNoTaint": {"checktaint": True},
+}
+
+
+def scoped_directive(name):
+    updates = _SCOPED[name]
+
+    def macro(ctx, recv, args):
+        return ctx.fun_r(args[0], [], scope_updates=dict(updates))
+
+    macro.__name__ = name
+    return macro
+
+
+def _const_str(ctx, rep, what):
+    av = ctx.eval_abs(rep)
+    if not isinstance(av, Const) or not isinstance(av.value, str):
+        raise MacroError("%s must be a constant string" % what)
+    return av.value
+
+
+def _with_trigger(ctx, args, mode):
+    pattern = _const_str(ctx, args[0], "scope pattern")
+    directive = _const_str(ctx, args[1], "directive name")
+    if directive not in _SCOPED:
+        raise MacroError("unknown directive %r (one of %s)"
+                         % (directive, ", ".join(sorted(_SCOPED))))
+    triggers = tuple(ctx.scope_get("triggers", ())) \
+        + ((pattern, directive, mode),)
+    return ctx.fun_r(args[2], [], scope_updates={"triggers": triggers})
+
+
+def at_scope(ctx, recv, args):
+    """Apply the directive *at* (and inside) any method matching the
+    pattern entered within the thunk's dynamic scope."""
+    return _with_trigger(ctx, args, "at")
+
+
+def in_scope(ctx, recv, args):
+    """Apply the directive one level down: *inside* matching methods, but
+    not to the matching call itself."""
+    return _with_trigger(ctx, args, "in")
+
+
+# -- taint tracking (paper 3.3: JIT taint analysis) ---------------------------
+
+def taint(ctx, recv, args):
+    """Mark a staged value as tainted user input."""
+    sym = ctx.emit("id", (args[0],), absval=ctx.eval_abs(args[0]))
+    ctx.ctx.set_taint(sym, True)
+    return sym
+
+
+def untaint(ctx, recv, args):
+    """Declassify a staged value."""
+    sym = ctx.emit("id", (args[0],), absval=ctx.eval_abs(args[0]))
+    ctx.ctx.set_taint(sym, False)
+    return sym

@@ -1,0 +1,50 @@
+"""Macro installation and lookup.
+
+``install(class_name, method_name, fn)`` registers a macro for a guest
+method or native namespace method; ``install_class(class_name, obj)``
+registers every public method of a host object, mirroring the paper's::
+
+    Lancet.install(classOf[LancetLib], LancetMacros)
+
+Virtual calls consult the receiver's class chain so macros installed on a
+superclass apply to subclasses.
+"""
+
+from __future__ import annotations
+
+
+class MacroRegistry:
+    def __init__(self):
+        self._macros = {}   # (class_name, method_name) -> fn
+
+    def install(self, class_name, method_name, fn):
+        self._macros[(class_name, method_name)] = fn
+
+    def install_class(self, class_name, macros_obj):
+        """Install every public callable attribute of ``macros_obj`` as a
+        macro for the same-named method of ``class_name``."""
+        for name in dir(macros_obj):
+            if name.startswith("_"):
+                continue
+            fn = getattr(macros_obj, name)
+            if callable(fn):
+                self.install(class_name, name, fn)
+
+    def uninstall(self, class_name, method_name):
+        self._macros.pop((class_name, method_name), None)
+
+    def lookup_static(self, class_name, method_name):
+        return self._macros.get((class_name, method_name))
+
+    def lookup_virtual(self, rtclass, method_name):
+        """Walk the class chain for an applicable macro."""
+        cls = rtclass
+        while cls is not None:
+            fn = self._macros.get((cls.name, method_name))
+            if fn is not None:
+                return fn
+            cls = cls.superclass
+        return None
+
+    def __len__(self):
+        return len(self._macros)

@@ -1,0 +1,31 @@
+"""OptiML: the machine-learning DSL/library of paper section 3.4.
+
+``lib.mj`` is the pure guest library ("Scala library" baseline);
+:mod:`repro.optiml.macros` supplies the accelerator macros that retarget
+the library's bulk operators to Delite under Lancet compilation;
+:mod:`repro.optiml.reference` holds the hand-fused numpy baselines
+("C++" rows) and workload generators.
+"""
+
+from __future__ import annotations
+
+import os
+
+_HERE = os.path.dirname(__file__)
+
+OPTIML_MODULE = "Optiml"
+
+
+def optiml_source():
+    with open(os.path.join(_HERE, "lib.mj")) as f:
+        return f.read()
+
+
+def load_optiml(jit, install_macros=True):
+    """Load the OptiML guest library; optionally install the Delite
+    accelerator macros (paper Fig. 8)."""
+    jit.load(optiml_source(), module=OPTIML_MODULE)
+    if install_macros:
+        from repro.optiml.macros import install_optiml_macros
+        install_optiml_macros(jit)
+    return jit

@@ -1,0 +1,7 @@
+"""MiniJVM runtime: object model, class linking, native methods."""
+
+from repro.runtime.objects import Obj, RtClass, new_instance
+from repro.runtime.linker import Linker
+from repro.runtime.natives import NativeMethod, NATIVES
+
+__all__ = ["Obj", "RtClass", "new_instance", "Linker", "NativeMethod", "NATIVES"]

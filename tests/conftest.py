@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Lancet
+from repro.interp.interpreter import Interpreter
+
+
+@pytest.fixture
+def vm():
+    return Interpreter()
+
+
+@pytest.fixture
+def jit():
+    return Lancet()
+
+
+def load(source, **kw):
+    """Fresh Lancet with ``source`` loaded."""
+    j = Lancet(**kw)
+    j.load(source)
+    return j
+
+
+def run_both(source, fn_name, args, module="Main"):
+    """Differential helper: run a guest function both interpreted and
+    compiled; assert results agree; return the (shared) result."""
+    j = load(source)
+    interp_result = j.vm.call(module, fn_name, list(args))
+    compiled = j.compile_function(module, fn_name)
+    compiled_result = compiled(*args)
+    assert compiled_result == interp_result, (
+        "compiled %r != interpreted %r for %s%r"
+        % (compiled_result, interp_result, fn_name, tuple(args)))
+    return compiled_result

@@ -1,0 +1,92 @@
+"""Abstract-value lattice properties (hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.absint.absval import (Const, Static, Unknown, abs_of_value, lub,
+                                 merge_type_hints, type_hint_of)
+
+
+def absvals():
+    consts = st.one_of(
+        st.integers(-5, 5), st.booleans(),
+        st.sampled_from(["a", "b"]), st.none(),
+        st.floats(allow_nan=False, allow_infinity=False,
+                  min_value=-2.0, max_value=2.0),
+    ).map(Const)
+    obj_a, obj_b = [1, 2], {"x": 1}
+    statics = st.sampled_from([Static(obj_a), Static(obj_b)])
+    unknowns = st.sampled_from([
+        Unknown(), Unknown(ty="num"), Unknown(ty="str"),
+        Unknown(ty="arr", nonnull=True), Unknown(ty="obj:C", nonnull=True),
+    ])
+    return st.one_of(consts, statics, unknowns)
+
+
+class TestLub:
+    @given(absvals())
+    def test_idempotent(self, a):
+        assert lub(a, a) == a or isinstance(lub(a, a), Unknown)
+
+    @given(absvals(), absvals())
+    def test_commutative(self, a, b):
+        assert lub(a, b) == lub(b, a)
+
+    @given(absvals(), absvals(), absvals())
+    def test_associative(self, a, b, c):
+        assert lub(lub(a, b), c) == lub(a, lub(b, c))
+
+    @given(absvals(), absvals())
+    def test_upper_bound_type(self, a, b):
+        """The join's type hint generalizes both inputs' hints."""
+        j = lub(a, b)
+        for x in (a, b):
+            hx, hj = x.type_hint(), j.type_hint()
+            assert hj is None or hj == hx \
+                or (hj == "obj" and hx is not None and hx.startswith("obj"))
+
+    @given(absvals(), absvals())
+    def test_nonnull_preserved_conjunctively(self, a, b):
+        j = lub(a, b)
+        if j.nonnull():
+            assert a.nonnull() and b.nonnull()
+
+    def test_equal_consts_join_to_const(self):
+        assert lub(Const(3), Const(3)) == Const(3)
+
+    def test_distinct_consts_widen(self):
+        j = lub(Const(3), Const(4))
+        assert isinstance(j, Unknown)
+        assert j.type_hint() == "num"
+
+    def test_same_static_identity(self):
+        o = [1]
+        assert lub(Static(o), Static(o)) == Static(o)
+
+    def test_bool_vs_int_consts_distinct(self):
+        assert Const(True) != Const(1)
+
+
+class TestLift:
+    def test_primitives_become_const(self):
+        for v in (1, 1.5, "x", True, None):
+            assert isinstance(abs_of_value(v), Const)
+
+    def test_objects_become_static(self):
+        assert isinstance(abs_of_value([1, 2]), Static)
+
+    def test_type_hints(self):
+        from repro.bytecode.classfile import ClassFile
+        from repro.runtime.objects import Obj, RtClass
+        assert type_hint_of(True) == "bool"
+        assert type_hint_of(3) == "num"
+        assert type_hint_of(2.5) == "num"
+        assert type_hint_of("s") == "str"
+        assert type_hint_of([1]) == "arr"
+        obj = Obj(RtClass("C", ClassFile("C"), None), {})
+        assert type_hint_of(obj) == "obj:C"
+
+    def test_merge_hints(self):
+        assert merge_type_hints("num", "num") == "num"
+        assert merge_type_hints("num", "str") is None
+        assert merge_type_hints("obj:A", "obj:B") == "obj"
+        assert merge_type_hints("obj:A", None) is None

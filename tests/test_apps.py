@@ -1,0 +1,133 @@
+"""The bundled guest applications (paper's running examples) end-to-end."""
+
+import math
+
+import pytest
+
+from repro import Lancet
+from repro.apps import app_source, load_app
+from repro.apps.csv_baselines import (accessed_keys, cpp_baseline,
+                                      generate_csv)
+
+
+@pytest.fixture
+def jit():
+    return Lancet()
+
+
+class TestCsvApp:
+    def test_flag_query_matches_baselines(self, jit):
+        lines = generate_csv(300)
+        keys = accessed_keys()
+        load_app(jit, "csv", module="CsvApp")
+        assert jit.vm.call("CsvApp", "flagQuery", [lines, keys]) \
+            == cpp_baseline(lines, keys)
+
+    def test_interpreted_query_agrees(self, jit):
+        lines = generate_csv(60)
+        keys = accessed_keys()
+        load_app(jit, "csv", module="CsvApp")
+        assert jit.vm.call("CsvApp", "flagQueryInterp", [lines, keys]) \
+            == jit.vm.call("CsvApp", "flagQuery", [lines, keys])
+
+    def test_specialized_loop_has_no_record_or_index_lookup(self, jit):
+        lines = generate_csv(50)
+        load_app(jit, "csv", module="CsvApp")
+        jit.vm.call("CsvApp", "flagQuery", [lines, accessed_keys()])
+        source = jit.compile_log[-1][1].source
+        assert "indexOf" not in source       # name->column mapping gone
+        assert "_newinst" not in source      # Record scalar-replaced
+        assert "_callv" not in source        # callback fully inlined
+
+    def test_dump_records_unrolls_schema(self, jit):
+        load_app(jit, "csv", module="CsvApp")
+        small = ["Name,Value,Flag", "A,7,no", "B,2,yes"]
+        jit.vm.call("CsvApp", "dumpRecords", [small])
+        out = jit.vm.output()
+        assert "Name: A" in out and "Value: 7" in out and "Flag: no" in out
+        assert "Name: B" in out and "Flag: yes" in out
+
+    def test_per_file_specialization_coexists(self, jit):
+        """Two files with different schemas get two live specializations
+        (the paper's 'multiple versions active at the same time')."""
+        load_app(jit, "csv", module="CsvApp")
+        f1 = ["Flag,X,Y", "yes,1,2", "no,3,4"]
+        f2 = ["P,Q,Flag", "a,b,yes"]
+        runner_count_before = len(jit.compile_log)
+        assert jit.vm.call("CsvApp", "flagQuery", [f1, ["X"]]) == [1, 2]
+        assert jit.vm.call("CsvApp", "flagQuery", [f2, ["Q"]]) == [1, 1]
+        assert len(jit.compile_log) >= runner_count_before + 2
+
+
+class TestSafeInt:
+    def test_product_small_fast_path(self, jit):
+        load_app(jit, "safeint", module="Safeint")
+        product = jit.vm.call("Safeint", "makeProduct")
+        assert product(10) == math.factorial(10)
+        assert product.deopt_count == 0
+
+    def test_overflow_deoptimizes_and_stays_correct(self, jit):
+        load_app(jit, "safeint", module="Safeint")
+        product = jit.vm.call("Safeint", "makeProduct")
+        assert product(25) == math.factorial(25)
+        assert product.deopt_count == 1
+
+    def test_compiled_fast_path_never_allocates_big(self, jit):
+        load_app(jit, "safeint", module="Safeint")
+        product = jit.vm.call("Safeint", "makeProduct")
+        assert "Big" not in product.source
+
+    def test_interpreted_agrees(self, jit):
+        load_app(jit, "safeint", module="Safeint")
+        assert jit.vm.call("Safeint", "product", [12]) \
+            == math.factorial(12)
+
+
+class TestStableTree:
+    def build(self, jit, pairs):
+        root = None
+        for k, v in pairs:
+            root = jit.vm.call("Stabletree", "insert", [root, k, v])
+        return root
+
+    def test_lookup_matches_interpreted(self, jit):
+        load_app(jit, "stabletree", module="Stabletree")
+        for f in ("key", "value", "left", "right"):
+            jit.mark_stable("Node", f)
+        pairs = [(50, "a"), (20, "b"), (80, "c"), (10, "d"), (35, "e")]
+        root = self.build(jit, pairs)
+        compiled = jit.vm.call("Stabletree", "makeLookup", [root])
+        for k, v in pairs:
+            assert compiled(k) == v
+            assert jit.vm.call("Stabletree", "lookup", [root, k]) == v
+        assert compiled(99) is None
+
+    def test_structure_compiles_away(self, jit):
+        load_app(jit, "stabletree", module="Stabletree")
+        for f in ("key", "value", "left", "right"):
+            jit.mark_stable("Node", f)
+        root = self.build(jit, [(5, "x"), (3, "y"), (8, "z")])
+        compiled = jit.vm.call("Stabletree", "makeLookup", [root])
+        compiled(3)
+        assert "_getf" not in compiled.source
+        assert "fields[" not in compiled.source
+
+    def test_update_invalidates(self, jit):
+        load_app(jit, "stabletree", module="Stabletree")
+        for f in ("key", "value", "left", "right"):
+            jit.mark_stable("Node", f)
+        root = self.build(jit, [(5, "x")])
+        compiled = jit.vm.call("Stabletree", "makeLookup", [root])
+        assert compiled(7) is None
+        jit.vm.call("Stabletree", "insert", [root, 7, "new"])
+        assert not compiled.valid
+        assert compiled(7) == "new"
+
+
+class TestAppLoader:
+    def test_app_source_reads(self):
+        assert "processCSV" in app_source("csv")
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(FileNotFoundError):
+            app_source("nonexistent")

@@ -1,0 +1,267 @@
+"""Bytecode layer: instructions, builder, assembler, disassembler, verifier."""
+
+import pytest
+
+from repro.bytecode import (ClassFile, Instr, MethodBuilder, Op, assemble,
+                            disassemble_class, disassemble_method,
+                            verify_class, verify_method)
+from repro.bytecode.classfile import MethodInfo, max_stack
+from repro.errors import AssemblerError, VerifyError
+
+
+def simple_method(code, num_params=0, is_static=True, name="m"):
+    return MethodInfo(name, num_params, code, is_static=is_static)
+
+
+class TestInstr:
+    def test_stack_effect_const(self):
+        assert Instr(Op.CONST, 1).stack_effect() == (0, 1)
+
+    def test_stack_effect_invoke(self):
+        assert Instr(Op.INVOKE, ("foo", 2)).stack_effect() == (3, 1)
+
+    def test_stack_effect_invoke_static(self):
+        assert Instr(Op.INVOKE_STATIC, ("C", "foo", 3)).stack_effect() == (3, 1)
+
+    def test_stack_effect_array_lit(self):
+        assert Instr(Op.ARRAY_LIT, 4).stack_effect() == (4, 1)
+
+    def test_equality(self):
+        assert Instr(Op.CONST, 1) == Instr(Op.CONST, 1)
+        assert Instr(Op.CONST, 1) != Instr(Op.CONST, 2)
+        assert Instr(Op.POP) != Instr(Op.DUP)
+
+    def test_is_branch(self):
+        assert Instr(Op.JUMP, 0).is_branch()
+        assert not Instr(Op.RET).is_branch()
+
+    def test_repr(self):
+        assert "CONST" in repr(Instr(Op.CONST, 5))
+
+
+class TestMethodBuilder:
+    def test_builds_and_appends_ret(self):
+        b = MethodBuilder("f", 0, is_static=True)
+        b.const(1).emit(Op.POP)
+        m = b.build()
+        assert m.code[-1].op is Op.RET
+
+    def test_label_resolution(self):
+        b = MethodBuilder("f", 1, is_static=True)
+        end = b.new_label()
+        b.load(0).jif_false(end)
+        b.const(1).ret_val()
+        b.label(end)
+        b.const(0).ret_val()
+        m = b.build()
+        jif = m.code[1]
+        assert jif.op is Op.JIF_FALSE
+        assert m.code[jif.arg].op is Op.CONST
+        assert m.code[jif.arg].arg == 0
+
+    def test_unbound_label_fails(self):
+        b = MethodBuilder("f", 0, is_static=True)
+        lbl = b.new_label()
+        b.jump(lbl)
+        with pytest.raises(AssemblerError):
+            b.build()
+
+    def test_double_bound_label_fails(self):
+        b = MethodBuilder("f", 0, is_static=True)
+        lbl = b.new_label()
+        b.label(lbl)
+        with pytest.raises(AssemblerError):
+            b.label(lbl)
+
+    def test_alloc_slot_counts_locals(self):
+        b = MethodBuilder("f", 2, is_static=True)
+        s = b.alloc_slot()
+        assert s == 2
+        b.const(0).store(s)
+        m = b.build()
+        assert m.num_locals == 3
+
+    def test_instance_method_reserves_this_slot(self):
+        b = MethodBuilder("f", 1, is_static=False)
+        assert b.alloc_slot() == 2   # this + 1 param
+
+
+class TestMaxStack:
+    def test_straight_line(self):
+        m = simple_method([Instr(Op.CONST, 1), Instr(Op.CONST, 2),
+                           Instr(Op.ADD), Instr(Op.RET_VAL)])
+        assert max_stack(m.code) == 2
+
+    def test_branches(self):
+        # if (p0) push 3 deep else push 1 deep
+        code = [
+            Instr(Op.LOAD, 0),
+            Instr(Op.JIF_FALSE, 6),
+            Instr(Op.CONST, 1), Instr(Op.CONST, 2), Instr(Op.CONST, 3),
+            Instr(Op.POP),
+            Instr(Op.RET),
+        ]
+        m = simple_method(code, num_params=1)
+        assert max_stack(m.code) >= 3
+
+
+class TestVerifier:
+    def test_ok(self):
+        m = simple_method([Instr(Op.CONST, 1), Instr(Op.RET_VAL)])
+        assert verify_method(m)
+
+    def test_underflow(self):
+        m = simple_method([Instr(Op.POP), Instr(Op.RET)])
+        with pytest.raises(VerifyError, match="underflow"):
+            verify_method(m)
+
+    def test_values_left_at_return(self):
+        m = simple_method([Instr(Op.CONST, 1), Instr(Op.RET)])
+        with pytest.raises(VerifyError, match="left on stack"):
+            verify_method(m)
+
+    def test_fall_off_end(self):
+        m = simple_method([Instr(Op.CONST, 1), Instr(Op.POP)])
+        with pytest.raises(VerifyError, match="fall off"):
+            verify_method(m)
+
+    def test_bad_jump_target(self):
+        m = simple_method([Instr(Op.JUMP, 99)])
+        with pytest.raises(VerifyError, match="out of range"):
+            verify_method(m)
+
+    def test_bad_local_slot(self):
+        # Explicit num_locals (inference would widen it to fit the LOAD).
+        m = MethodInfo("m", 1, [Instr(Op.LOAD, 5), Instr(Op.RET_VAL)],
+                       is_static=True, num_locals=1)
+        with pytest.raises(VerifyError, match="local slot"):
+            verify_method(m)
+
+    def test_inconsistent_stack_depth(self):
+        # One path pushes 1 value before the join, the other pushes 2.
+        code = [
+            Instr(Op.LOAD, 0),
+            Instr(Op.JIF_FALSE, 4),
+            Instr(Op.CONST, 1),
+            Instr(Op.JUMP, 6),
+            Instr(Op.CONST, 1),
+            Instr(Op.CONST, 2),
+            Instr(Op.RET_VAL),       # join at 6 with depth 1 vs 2
+        ]
+        m = simple_method(code, num_params=1)
+        with pytest.raises(VerifyError):
+            verify_method(m)
+
+    def test_empty_method(self):
+        m = MethodInfo("f", 0, [], is_static=True)
+        with pytest.raises(VerifyError, match="empty"):
+            verify_method(m)
+
+
+class TestAssembler:
+    SOURCE = '''
+    class Point extends Base
+      field x
+      val field y
+      static method make/2
+        new Point
+        dup
+        load 0
+        putfield x
+        dup
+        load 1
+        putfield y
+        ret_val
+      end
+      method getX/0
+        load 0
+        getfield x
+        ret_val
+      end
+    end
+    '''
+
+    def test_assemble_basic(self):
+        classes = assemble(self.SOURCE)
+        assert len(classes) == 1
+        cls = classes[0]
+        assert cls.name == "Point"
+        assert cls.super_name == "Base"
+        assert cls.fields["x"].is_val is False
+        assert cls.fields["y"].is_val is True
+        assert cls.methods["make"].is_static
+        assert not cls.methods["getX"].is_static
+
+    def test_labels_and_literals(self):
+        src = '''
+        class M
+          static method f/1
+            load 0
+          loop:
+            const 1
+            sub
+            dup
+            const 0
+            gt
+            jif_true loop
+            ret_val
+          end
+        end
+        '''
+        cls = assemble(src)[0]
+        m = cls.methods["f"]
+        verify_method(m)
+        jif = [i for i in m.code if i.op is Op.JIF_TRUE][0]
+        assert m.code[jif.arg].op is Op.CONST
+
+    def test_string_literal(self):
+        src = 'class M\n static method f/0\n const "he\\"y"\n ret_val\n end\nend'
+        m = assemble(src)[0].methods["f"]
+        assert m.code[0].arg == 'he"y'
+
+    def test_bool_null_literals(self):
+        src = ('class M\n static method f/0\n const true\n pop\n'
+               ' const false\n pop\n const null\n ret_val\n end\nend')
+        m = assemble(src)[0].methods["f"]
+        assert m.code[0].arg is True
+        assert m.code[2].arg is False
+        assert m.code[4].arg is None
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblerError, match="unknown opcode"):
+            assemble("class M\n static method f/0\n frobnicate\n end\nend")
+
+    def test_unknown_label(self):
+        with pytest.raises(AssemblerError, match="unknown label"):
+            assemble("class M\n static method f/0\n jump nowhere\n end\nend")
+
+    def test_missing_end(self):
+        with pytest.raises(AssemblerError, match="missing 'end'"):
+            assemble("class M\n static method f/0\n ret")
+
+    def test_roundtrip(self):
+        classes = assemble(self.SOURCE)
+        text = disassemble_class(classes[0])
+        classes2 = assemble(text)
+        cls2 = classes2[0]
+        assert verify_class(cls2)
+        assert [i for i in cls2.methods["make"].code] == \
+            [i for i in classes[0].methods["make"].code]
+
+    def test_disassemble_method_mentions_labels(self):
+        src = '''
+        class M
+          static method f/1
+            load 0
+            jif_true t
+            const 0
+            ret_val
+          t:
+            const 1
+            ret_val
+          end
+        end
+        '''
+        m = assemble(src)[0].methods["f"]
+        text = disassemble_method(m)
+        assert "jif_true L" in text

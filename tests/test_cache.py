@@ -1,0 +1,109 @@
+"""Code caching and on-demand compilation (paper 3.1: calcJIT/calcHOT)."""
+
+from repro import CodeCache, make_hot, make_jit
+from tests.conftest import load
+
+CALC_SRC = '''
+    def calc(x, y) {
+      var acc = 0;
+      var i = 0;
+      while (i < x) { acc = acc + y + i; i = i + 1; }
+      return acc;
+    }
+'''
+
+
+def expected_calc(x, y):
+    return sum(y + i for i in range(x))
+
+
+class TestCodeCache:
+    def test_hit_miss_counting(self):
+        c = CodeCache()
+        assert c.get("a") is None
+        c.put("a", "compiled-a")
+        assert c.get("a") == "compiled-a"
+        assert c.misses == 1 and c.hits == 1
+
+    def test_get_or_else_update(self):
+        c = CodeCache()
+        calls = []
+        c.get_or_else_update("k", lambda: calls.append(1) or "v")
+        c.get_or_else_update("k", lambda: calls.append(1) or "v")
+        assert len(calls) == 1
+
+    def test_lru_eviction(self):
+        evicted = []
+        c = CodeCache(capacity=2, on_evict=lambda k, v: evicted.append(k))
+        c.put(1, "a")
+        c.put(2, "b")
+        c.get(1)            # 1 now most recent
+        c.put(3, "c")       # evicts 2
+        assert evicted == [2]
+        assert 1 in c and 3 in c and 2 not in c
+
+
+class TestMakeJit:
+    def test_specializes_per_first_argument(self):
+        j = load(CALC_SRC)
+        calc_jit = make_jit(j, "Main", "calc")
+        assert calc_jit(5, 10) == expected_calc(5, 10)
+        assert calc_jit(5, 20) == expected_calc(5, 20)
+        assert calc_jit(3, 10) == expected_calc(3, 10)
+        assert len(calc_jit.cache) == 2          # x=5 and x=3 variants
+        assert calc_jit.cache.hits == 1          # second x=5 call
+
+    def test_specialized_variant_embeds_constant(self):
+        j = load(CALC_SRC)
+        calc_jit = make_jit(j, "Main", "calc")
+        calc_jit(4, 1)
+        compiled = calc_jit.cache.get(4)
+        # x=4 is a compile-time constant: the loop fully unrolls or at
+        # least the bound is inlined.
+        assert "4" in compiled.source
+
+    def test_custom_eviction_policy(self):
+        j = load(CALC_SRC)
+        evicted = []
+        cache = CodeCache(capacity=1, on_evict=lambda k, v: evicted.append(k))
+        calc_jit = make_jit(j, "Main", "calc", cache=cache)
+        calc_jit(1, 1)
+        calc_jit(2, 1)
+        assert evicted == [1]
+
+
+class TestMakeHot:
+    def test_interprets_until_threshold(self):
+        j = load(CALC_SRC)
+        calc_hot = make_hot(j, "Main", "calc", threshold=2)
+        assert calc_hot(5, 1) == expected_calc(5, 1)
+        assert len(calc_hot.cache) == 0          # still cold
+        assert calc_hot(5, 2) == expected_calc(5, 2)
+        assert len(calc_hot.cache) == 0          # hits threshold next call
+        assert calc_hot(5, 3) == expected_calc(5, 3)
+        assert len(calc_hot.cache) == 1          # compiled now
+
+    def test_cold_values_never_compiled(self):
+        j = load(CALC_SRC)
+        calc_hot = make_hot(j, "Main", "calc", threshold=10)
+        for y in range(5):
+            calc_hot(7, y)
+        assert len(calc_hot.cache) == 0
+
+    def test_compiled_results_match_interpreted(self):
+        j = load(CALC_SRC)
+        calc_hot = make_hot(j, "Main", "calc", threshold=1)
+        results = [calc_hot(3, y) for y in range(4)]
+        assert results == [expected_calc(3, y) for y in range(4)]
+
+
+class TestInvalidation:
+    def test_invalidate_all(self):
+        j = load(CALC_SRC)
+        calc_jit = make_jit(j, "Main", "calc")
+        calc_jit(2, 2)
+        compiled = calc_jit.cache.get(2)
+        calc_jit.cache.invalidate_all()
+        assert not compiled.valid
+        # A fresh call recompiles a new variant.
+        assert calc_jit(2, 2) == expected_calc(2, 2)

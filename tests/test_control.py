@@ -1,0 +1,119 @@
+"""Delimited control (paper 3.2): shift/reset, reified continuations,
+OSR plumbing."""
+
+import pytest
+
+from tests.conftest import load
+
+
+class TestShift:
+    def test_abort_continuation(self):
+        """f ignores k: the rest of the compiled unit is discarded."""
+        j = load('''
+            def make() {
+              return Lancet.compile(fun(x) {
+                var y = Lancet.shift(fun(k) => 42);
+                return y * 1000;       // never runs
+              });
+            }
+        ''')
+        f = j.vm.call("Main", "make")
+        assert f(1) == 42
+
+    def test_invoke_continuation_once(self):
+        j = load('''
+            def make() {
+              return Lancet.compile(fun(x) {
+                var y = Lancet.shift(fun(k) => k(x + 1) * 10);
+                return y * 2;
+              });
+            }
+        ''')
+        f = j.vm.call("Main", "make")
+        # k(x+1) resumes: y = x+1, returns (x+1)*2; f's result = that * 10
+        assert f(5) == (5 + 1) * 2 * 10
+
+    def test_invoke_continuation_twice(self):
+        """Continuations rebuild fresh frames per call: replayable."""
+        j = load('''
+            def make() {
+              return Lancet.compile(fun(x) {
+                var y = Lancet.shift(fun(k) => k(1) + k(2));
+                return y * 10;
+              });
+            }
+        ''')
+        f = j.vm.call("Main", "make")
+        assert f(0) == 10 + 20
+
+    def test_reset_is_transparent(self):
+        j = load('''
+            def make() {
+              return Lancet.compile(fun(x) {
+                return Lancet.reset(fun() => x + 1) * 2;
+              });
+            }
+        ''')
+        f = j.vm.call("Main", "make")
+        assert f(3) == 8
+
+    def test_generator_style(self):
+        """The paper: 'delimited continuations can be used to implement
+        coroutines, generators or asynchronous callbacks'."""
+        j = load('''
+            def make() {
+              return Lancet.compile(fun(x) {
+                var k = Lancet.shift(fun(k) => k);   // expose continuation
+                return x + k;
+              });
+            }
+        ''')
+        f = j.vm.call("Main", "make")
+        k = f(100)          # first call returns the continuation itself
+        assert callable(k)
+        assert k(7) == 107  # resuming computes x + 7
+        assert k(8) == 108  # replayable
+
+    def test_shift_in_interpreter_rejected(self):
+        from repro.errors import GuestError
+        j = load('def f(x) { return Lancet.shift(fun(k) => k(x)); }')
+        with pytest.raises(GuestError):
+            j.vm.call("Main", "f", [1])
+
+
+class TestOsrChains:
+    def test_deopt_through_inlined_frames(self):
+        """Deopt metadata reconstructs the whole inline chain, and the
+        interpreter finishes the outer computation correctly."""
+        j = load('''
+            def inner(x) {
+              if (Lancet.speculate(x < 10)) { return x; }
+              return x * 1000;
+            }
+            def middle(x) { return inner(x) + 1; }
+            def make() {
+              return Lancet.compile(fun(x) => middle(x) * 2);
+            }
+        ''')
+        f = j.vm.call("Main", "make")
+        assert f(3) == (3 + 1) * 2
+        assert f(50) == (50 * 1000 + 1) * 2    # resumes 3 frames deep
+        assert f.deopt_count == 1
+
+    def test_deopt_restores_scalar_replaced_objects(self):
+        """Virtual objects in deopt metadata rematerialize on the slow
+        path (Graal-style scalar replacement in frame state)."""
+        j = load('''
+            class Box { var v; def init(v) { this.v = v; } }
+            def make() {
+              return Lancet.compile(fun(x) {
+                var b = new Box(x * 2);
+                if (Lancet.speculate(x < 100)) { return b.v; }
+                return b.v + 1;
+              });
+            }
+        ''')
+        f = j.vm.call("Main", "make")
+        assert f(3) == 6
+        assert "_newinst" not in f.source      # Box scalar-replaced
+        assert f(200) == 401                   # rebuilt for the interpreter

@@ -1,0 +1,161 @@
+"""Property-based differential testing: for randomly generated MiniJ
+programs, the JIT-compiled function must be observationally equal to the
+interpreter (same result, same printed output, same guest errors).
+
+This is the strongest end-to-end invariant in the suite: it exercises the
+frontend, the interpreter, the staged interpreter (folding, merging,
+widening), codegen, and the shared operator semantics all at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Lancet
+from repro.errors import GuestError
+
+
+# -- structured program generator ---------------------------------------------
+# Programs are generated as (source, free variables used). Loops are always
+# canonical counting loops, so every program terminates.
+
+VARS = ["a", "b", "t0", "t1", "t2"]
+
+
+@st.composite
+def int_expr(draw, depth=0, env=("a", "b")):
+    if depth >= 3:
+        choice = draw(st.integers(0, 1))
+    else:
+        choice = draw(st.integers(0, 6))
+    if choice == 0:
+        return str(draw(st.integers(-9, 9)))
+    if choice == 1:
+        return draw(st.sampled_from(list(env)))
+    lhs = draw(int_expr(depth=depth + 1, env=env))
+    rhs = draw(int_expr(depth=depth + 1, env=env))
+    if choice <= 4:
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        return "(%s %s %s)" % (lhs, op, rhs)
+    if choice == 5:
+        # Division/modulo by a guaranteed-nonzero constant.
+        k = draw(st.integers(1, 7)) * draw(st.sampled_from([1, -1]))
+        op = draw(st.sampled_from(["/", "%"]))
+        return "(%s %s %d)" % (lhs, op, k)
+    cond = draw(bool_expr(depth=depth + 1, env=env))
+    # Branchy value via Math.min/max to stay an expression.
+    return "Math.max(%s, (%s) * (0 - 1))" % (lhs, rhs) if draw(st.booleans()) \
+        else "(%s + %s)" % (lhs, cond_to_int(cond))
+
+
+def cond_to_int(cond):
+    # booleans participate in arithmetic like ints would be messy; gate it
+    return "0"
+
+
+@st.composite
+def bool_expr(draw, depth=0, env=("a", "b")):
+    lhs = draw(int_expr(depth=depth + 1, env=env))
+    rhs = draw(int_expr(depth=depth + 1, env=env))
+    op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+    base = "(%s %s %s)" % (lhs, op, rhs)
+    if depth < 2 and draw(st.integers(0, 3)) == 0:
+        other = draw(bool_expr(depth=depth + 1, env=env))
+        join = draw(st.sampled_from(["&&", "||"]))
+        return "(%s %s %s)" % (base, join, other)
+    if depth < 2 and draw(st.integers(0, 5)) == 0:
+        return "(!%s)" % base
+    return base
+
+
+@st.composite
+def stmt_block(draw, depth, env):
+    stmts = []
+    n = draw(st.integers(1, 3))
+    env = list(env)
+    for __ in range(n):
+        kind = draw(st.integers(0, 5 if depth < 2 else 3))
+        if kind == 0:           # new local
+            name = "t%d" % len([v for v in env if v.startswith("t")])
+            if name in env:
+                kind = 1
+            else:
+                stmts.append("var %s = %s;"
+                             % (name, draw(int_expr(env=tuple(env)))))
+                env.append(name)
+                continue
+        if kind == 1:           # assignment
+            target = draw(st.sampled_from(env))
+            stmts.append("%s = %s;" % (target,
+                                       draw(int_expr(env=tuple(env)))))
+        elif kind == 2:         # print
+            stmts.append("println(%s);" % draw(int_expr(env=tuple(env))))
+        elif kind == 3:         # accumulate via arithmetic
+            target = draw(st.sampled_from(env))
+            stmts.append("%s = %s + %s;"
+                         % (target, target, draw(int_expr(env=tuple(env)))))
+        elif kind == 4:         # if/else
+            cond = draw(bool_expr(env=tuple(env)))
+            then = draw(stmt_block(depth + 1, tuple(env)))
+            orelse = draw(stmt_block(depth + 1, tuple(env)))
+            stmts.append("if (%s) { %s } else { %s }"
+                         % (cond, " ".join(then), " ".join(orelse)))
+        else:                   # bounded counting loop
+            bound = draw(st.integers(1, 6))
+            ctr = "i%d" % depth
+            body = draw(stmt_block(depth + 1, tuple(env)))
+            stmts.append(
+                "var %s = 0; while (%s < %d) { %s %s = %s + 1; }"
+                % (ctr, ctr, bound, " ".join(body), ctr, ctr))
+    return stmts
+
+
+@st.composite
+def guest_program(draw):
+    body = draw(stmt_block(0, ("a", "b")))
+    ret = draw(int_expr(env=("a", "b")))
+    return "def f(a, b) { %s return %s; }" % (" ".join(body), ret)
+
+
+class TestDifferential:
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(guest_program(), st.integers(-20, 20), st.integers(-20, 20))
+    def test_compiled_equals_interpreted(self, source, a, b):
+        jit = Lancet()
+        jit.load(source)
+
+        interp_err = comp_err = None
+        interp_result = comp_result = None
+        try:
+            interp_result = jit.vm.call("Main", "f", [a, b])
+        except GuestError as exc:
+            interp_err = type(exc)
+        interp_out = jit.vm.output()
+        jit.clear = jit.vm.clear_output()
+
+        compiled = jit.compile_function("Main", "f")
+        try:
+            comp_result = compiled(a, b)
+        except GuestError as exc:
+            comp_err = type(exc)
+        comp_out = jit.vm.output()
+
+        assert interp_err == comp_err, source
+        assert interp_result == comp_result, source
+        assert interp_out == comp_out, source
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(guest_program(), st.integers(-10, 10), st.integers(-10, 10))
+    def test_compiled_equals_interpreted_no_inlining(self, source, a, b):
+        """Same property with inlining disabled (residual-call paths)."""
+        from repro import CompileOptions
+        jit = Lancet(options=CompileOptions(inline_policy="never"))
+        jit.load(source)
+        expected = jit.vm.call("Main", "f", [a, b])
+        jit.vm.clear_output()
+        compiled = jit.compile_function("Main", "f")
+        assert compiled(a, b) == expected

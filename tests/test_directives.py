@@ -1,0 +1,265 @@
+"""Dynamically-scoped directives (paper 3.1/3.3): inlining control,
+atScope/inScope, checkNoAlloc, taint analysis."""
+
+import pytest
+
+from repro import CompileOptions
+from repro.errors import MacroError, NoAllocError, TaintError
+from tests.conftest import load
+
+
+class TestInlinePolicies:
+    SRC = '''
+        def helper(x) { return x * 3; }
+        def makeNever() {
+          return Lancet.compile(fun(x) =>
+            Lancet.inlineNever(fun() => helper(x)));
+        }
+        def makeAlways() {
+          return Lancet.compile(fun(x) =>
+            Lancet.inlineAlways(fun() => helper(x)));
+        }
+    '''
+
+    def test_inline_never_leaves_call(self):
+        j = load(self.SRC)
+        f = j.vm.call("Main", "makeNever")
+        assert f(2) == 6
+        assert "_callm" in f.source
+
+    def test_inline_always_removes_call(self):
+        j = load(self.SRC)
+        f = j.vm.call("Main", "makeAlways")
+        assert f(2) == 6
+        assert "_callm" not in f.source
+
+    def test_global_policy_never(self):
+        j = load("def helper(x) { return x * 3; }\n"
+                 "def f(x) { return helper(x); }",
+                 options=CompileOptions(inline_policy="never"))
+        c = j.compile_function("Main", "f")
+        assert c(2) == 6
+        assert "_callm" in c.source
+
+    def test_recursive_not_inlined_by_default(self):
+        j = load('''
+            def fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+        ''')
+        c = j.compile_function("Main", "fact")
+        assert c(5) == 120
+        assert "_callm" in c.source
+
+
+class TestScopePatterns:
+    SRC = '''
+        def ioish(x) { return x + 1; }
+        def pure(x) { return x * 2; }
+        def make() {
+          return Lancet.compile(fun(x) {
+            return Lancet.atScope("Main.ioish", "inlineNever", fun() {
+              return ioish(x) + pure(x);
+            });
+          });
+        }
+        def makeIn() {
+          return Lancet.compile(fun(x) {
+            return Lancet.inScope("Main.outer", "inlineNever", fun() {
+              return outer(x);
+            });
+          });
+        }
+        def inner(x) { return x + 5; }
+        def outer(x) { return inner(x); }
+    '''
+
+    def test_at_scope_pattern_blocks_matching_only(self):
+        j = load(self.SRC)
+        f = j.vm.call("Main", "make")
+        assert f(3) == 4 + 6
+        # ioish stays a call, pure is inlined
+        assert f.source.count("_callm") == 1
+
+    def test_in_scope_applies_inside_match(self):
+        j = load(self.SRC)
+        f = j.vm.call("Main", "makeIn")
+        assert f(3) == 8
+        # outer itself is inlined; inner (inside outer) is not.
+        assert "_callm" in f.source
+
+    def test_bad_directive_name(self):
+        j = load('''
+            def make() {
+              return Lancet.compile(fun(x) =>
+                Lancet.atScope("x", "frobnicate", fun() => x));
+            }
+        ''')
+        with pytest.raises(MacroError, match="unknown directive"):
+            j.vm.call("Main", "make")
+
+    def test_pattern_must_be_constant(self):
+        j = load('''
+            def make(pat) {
+              return Lancet.compile(fun(x) =>
+                Lancet.atScope(x, "inlineNever", fun() => x));
+            }
+        ''')
+        with pytest.raises(MacroError, match="constant string"):
+            j.vm.call("Main", "make", ["p"])
+
+
+class TestCheckNoAlloc:
+    def test_scalar_replaced_code_passes(self):
+        j = load('''
+            class P { var a; var b; def init(a, b) { this.a = a; this.b = b; } }
+            def make() {
+              return Lancet.compile(fun(x) {
+                return Lancet.checkNoAlloc(fun() {
+                  var p = new P(x, x * 2);
+                  return p.a + p.b;
+                });
+              });
+            }
+        ''')
+        f = j.vm.call("Main", "make")
+        assert f(4) == 12
+
+    def test_escaping_allocation_fails(self):
+        j = load('''
+            class P { var a; def init(a) { this.a = a; } }
+            def consume(p) { return p.a; }
+            def make() {
+              return Lancet.compile(fun(x) {
+                return Lancet.checkNoAlloc(fun() {
+                  var p = new P(x);
+                  return Lancet.inlineNever(fun() => consume(p));
+                });
+              });
+            }
+        ''')
+        with pytest.raises(NoAllocError):
+            j.vm.call("Main", "make")
+
+    def test_native_allocation_fails(self):
+        j = load('''
+            def make() {
+              return Lancet.compile(fun(x) {
+                return Lancet.checkNoAlloc(fun() => len(newArray(x, 0)));
+              });
+            }
+        ''')
+        with pytest.raises(NoAllocError) as exc:
+            j.vm.call("Main", "make")
+        assert exc.value.sites
+
+    def test_deopt_point_fails(self):
+        j = load('''
+            def make() {
+              return Lancet.compile(fun(x) {
+                return Lancet.checkNoAlloc(fun() {
+                  if (Lancet.speculate(x > 0)) { return x; }
+                  return 0;
+                });
+              });
+            }
+        ''')
+        with pytest.raises(NoAllocError, match="deopt"):
+            j.vm.call("Main", "make")
+
+    def test_outside_scope_not_affected(self):
+        j = load('''
+            def make() {
+              return Lancet.compile(fun(x) {
+                var arr = newArray(x, 1);   // outside the directive: fine
+                return Lancet.checkNoAlloc(fun() => x + 1) + len(arr);
+              });
+            }
+        ''')
+        f = j.vm.call("Main", "make")
+        assert f(3) == 7
+
+    def test_global_option(self):
+        j = load("def f(x) { return newArray(x, 0); }",
+                 options=CompileOptions(check_noalloc=True))
+        with pytest.raises(NoAllocError):
+            j.compile_function("Main", "f")
+
+
+class TestTaint:
+    def test_leak_to_println(self):
+        j = load('''
+            def make() {
+              return Lancet.compile(fun(x) {
+                return Lancet.checkNoTaint(fun() {
+                  var secret = Lancet.taint(x);
+                  println(secret);
+                  return 0;
+                });
+              });
+            }
+        ''')
+        with pytest.raises(TaintError) as exc:
+            j.vm.call("Main", "make")
+        assert "println" in exc.value.leaks[0]
+
+    def test_taint_propagates_through_arithmetic(self):
+        j = load('''
+            def make() {
+              return Lancet.compile(fun(x) {
+                return Lancet.checkNoTaint(fun() {
+                  var secret = Lancet.taint(x);
+                  var derived = secret * 2 + 1;
+                  println(derived);
+                  return 0;
+                });
+              });
+            }
+        ''')
+        with pytest.raises(TaintError):
+            j.vm.call("Main", "make")
+
+    def test_branch_on_taint_detected(self):
+        j = load('''
+            def make() {
+              return Lancet.compile(fun(x) {
+                return Lancet.checkNoTaint(fun() {
+                  var secret = Lancet.taint(x);
+                  if (secret > 0) { return 1; }
+                  return 0;
+                });
+              });
+            }
+        ''')
+        with pytest.raises(TaintError) as exc:
+            j.vm.call("Main", "make")
+        assert any("branch" in leak for leak in exc.value.leaks)
+
+    def test_untaint_declassifies(self):
+        j = load('''
+            def make() {
+              return Lancet.compile(fun(x) {
+                return Lancet.checkNoTaint(fun() {
+                  var secret = Lancet.taint(x);
+                  var ok = Lancet.untaint(secret);
+                  println(ok);
+                  return 0;
+                });
+              });
+            }
+        ''')
+        f = j.vm.call("Main", "make")
+        assert f(3) == 0
+
+    def test_untainted_flow_passes(self):
+        j = load('''
+            def make() {
+              return Lancet.compile(fun(x) {
+                return Lancet.checkNoTaint(fun() {
+                  var secret = Lancet.taint(x);
+                  println(42);             // constant, not tainted
+                  return secret - secret;  // result tainted but not leaked
+                });
+              });
+            }
+        ''')
+        f = j.vm.call("Main", "make")
+        assert f(7) == 0

@@ -1,0 +1,157 @@
+"""The guest standard library (collections in MiniJ) and the paper's
+guest-side calcJIT code cache built on it."""
+
+import pytest
+
+from repro import Lancet
+from repro.apps import load_app
+from repro.interp.interpreter import GuestThrow
+
+
+@pytest.fixture
+def jit():
+    j = Lancet()
+    load_app(j, "std", module="Std")
+    return j
+
+
+class TestArrayList:
+    def test_push_get_grow(self, jit):
+        jit.load('''
+            def run() {
+              var xs = new ArrayList();
+              var i = 0;
+              while (i < 40) { xs.push(i * i); i = i + 1; }
+              return [xs.length(), xs.get(0), xs.get(39)];
+            }
+        ''', module="T1")
+        assert jit.vm.call("T1", "run") == [40, 0, 39 * 39]
+
+    def test_pop_and_set(self, jit):
+        jit.load('''
+            def run() {
+              var xs = new ArrayList();
+              xs.push(1); xs.push(2); xs.push(3);
+              xs.set(0, 99);
+              var popped = xs.pop();
+              return [popped, xs.length(), xs.get(0)];
+            }
+        ''', module="T2")
+        assert jit.vm.call("T2", "run") == [3, 2, 99]
+
+    def test_bounds_throw(self, jit):
+        jit.load('''
+            def run() {
+              var xs = new ArrayList();
+              xs.push(1);
+              return xs.get(5);
+            }
+        ''', module="T3")
+        with pytest.raises(GuestThrow):
+            jit.vm.call("T3", "run")
+
+    def test_each_and_to_array(self, jit):
+        jit.load('''
+            def run() {
+              var xs = new ArrayList();
+              xs.push(1); xs.push(2); xs.push(3);
+              var total = [0];
+              xs.each(fun(v) { total[0] = total[0] + v; });
+              return [total[0], xs.toArray(), xs.indexOfValue(2)];
+            }
+        ''', module="T4")
+        assert jit.vm.call("T4", "run") == [6, [1, 2, 3], 1]
+
+
+class TestHashMap:
+    def test_put_get_rehash(self, jit):
+        jit.load('''
+            def run() {
+              var m = new HashMap();
+              var i = 0;
+              while (i < 50) { m.put(i, i * 10); i = i + 1; }
+              return [m.size(), m.get(7), m.get(49), m.get(99)];
+            }
+        ''', module="T5")
+        assert jit.vm.call("T5", "run") == [50, 70, 490, None]
+
+    def test_string_keys_and_overwrite(self, jit):
+        jit.load('''
+            def run() {
+              var m = new HashMap();
+              m.put("a", 1);
+              m.put("b", 2);
+              m.put("a", 3);
+              return [m.size(), m.get("a"), m.containsKey("c")];
+            }
+        ''', module="T6")
+        assert jit.vm.call("T6", "run") == [2, 3, False]
+
+    def test_get_or_else_update(self, jit):
+        jit.load('''
+            def run() {
+              var m = new HashMap();
+              var calls = [0];
+              var mk = fun(k) { calls[0] = calls[0] + 1; return k * 2; };
+              var a = m.getOrElseUpdate(5, mk);
+              var b = m.getOrElseUpdate(5, mk);
+              return [a, b, calls[0]];
+            }
+        ''', module="T7")
+        assert jit.vm.call("T7", "run") == [10, 10, 1]
+
+
+class TestStringBuilder:
+    def test_build(self, jit):
+        jit.load('''
+            def run() {
+              var sb = new StringBuilder();
+              sb.add("a").add("b").add(str(42));
+              return sb.build();
+            }
+        ''', module="T8")
+        assert jit.vm.call("T8", "run") == "ab42"
+
+
+class TestGuestCalcJIT:
+    """The paper's section-3.1 code cache, written entirely in guest code:
+    the guest allocates the cache, calls Lancet.compile itself, and
+    guarantees x is a compile-time constant on every executed path."""
+
+    SRC = '''
+        def run(n) {
+          var calc = fun(x, z) {
+            var acc = 0;
+            var i = 0;
+            while (i < x) { acc = acc + z + i; i = i + 1; }
+            return acc;
+          };
+          var jitted = new CalcJIT(calc);
+          var r1 = jitted.call(5, 10);
+          var r2 = jitted.call(5, 20);
+          var r3 = jitted.call(3, 10);
+          return [r1, r2, r3, jitted.variants()];
+        }
+    '''
+
+    def expected(self, x, z):
+        return sum(z + i for i in range(x))
+
+    def test_guest_side_cache(self, jit):
+        jit.load(self.SRC, module="CJ")
+        r1, r2, r3, variants = jit.vm.call("CJ", "run", [0])
+        assert r1 == self.expected(5, 10)
+        assert r2 == self.expected(5, 20)
+        assert r3 == self.expected(3, 10)
+        assert variants == 2          # one compiled variant per distinct x
+
+    def test_variants_specialized(self, jit):
+        jit.load(self.SRC, module="CJ")
+        jit.vm.call("CJ", "run", [0])
+        # Two compiled units were created by guest code itself.
+        closure_units = [c for name, c in jit.compile_log
+                         if "apply" in name]
+        assert len(closure_units) >= 2
+        # Each embeds its x as a constant (the loop bound).
+        assert any("5" in c.source for c in closure_units)
+        assert any("3" in c.source for c in closure_units)

@@ -1,0 +1,210 @@
+"""Interpreter: control flow, frames, dispatch, natives, resumability."""
+
+import pytest
+
+from repro.bytecode import ClassFile, MethodBuilder, Op
+from repro.errors import GuestError, GuestTypeError, LinkError
+from repro.interp import Interpreter
+from repro.interp.frame import InterpreterFrame
+from repro.interp.interpreter import BudgetExceeded, GuestThrow
+
+
+def vm_with(builders, class_name="Main"):
+    cf = ClassFile(class_name)
+    for b in builders:
+        cf.add_method(b.build())
+    vm = Interpreter()
+    vm.load_classes([cf])
+    return vm
+
+
+def fact_builder():
+    b = MethodBuilder("fact", 1, is_static=True)
+    acc = b.alloc_slot()
+    loop, done = b.new_label(), b.new_label()
+    b.const(1).store(acc)
+    b.label(loop)
+    b.load(0).const(1).emit(Op.GT).jif_false(done)
+    b.load(acc).load(0).emit(Op.MUL).store(acc)
+    b.load(0).const(1).emit(Op.SUB).store(0)
+    b.jump(loop)
+    b.label(done)
+    b.load(acc).ret_val()
+    return b
+
+
+class TestBasics:
+    def test_factorial(self):
+        vm = vm_with([fact_builder()])
+        assert vm.call("Main", "fact", [10]) == 3628800
+
+    def test_implicit_null_return(self):
+        b = MethodBuilder("f", 0, is_static=True)
+        b.const(1).emit(Op.POP)
+        vm = vm_with([b])
+        assert vm.call("Main", "f") is None
+
+    def test_swap_dup(self):
+        b = MethodBuilder("f", 0, is_static=True)
+        b.const(1).const(2).emit(Op.SWAP).emit(Op.SUB).ret_val()
+        vm = vm_with([b])
+        assert vm.call("Main", "f") == 1   # 2 - 1
+
+    def test_wrong_arity(self):
+        vm = vm_with([fact_builder()])
+        with pytest.raises(GuestTypeError, match="expects 1"):
+            vm.call("Main", "fact", [1, 2])
+
+    def test_unknown_method(self):
+        vm = vm_with([fact_builder()])
+        with pytest.raises(LinkError):
+            vm.call("Main", "nope")
+
+    def test_step_budget(self):
+        b = MethodBuilder("spin", 0, is_static=True)
+        loop = b.new_label()
+        b.label(loop)
+        b.jump(loop)
+        vm = vm_with([b])
+        vm.max_steps = 1000
+        with pytest.raises(BudgetExceeded):
+            vm.call("Main", "spin")
+
+
+class TestSourcePrograms:
+    def test_recursion(self, vm):
+        vm.load_source('''
+            def fib(n) {
+              if (n < 2) { return n; }
+              return fib(n - 1) + fib(n - 2);
+            }
+        ''')
+        assert vm.call("Main", "fib", [15]) == 610
+
+    def test_mutual_recursion(self, vm):
+        vm.load_source('''
+            def isEven(n) { if (n == 0) { return true; } return isOdd(n - 1); }
+            def isOdd(n) { if (n == 0) { return false; } return isEven(n - 1); }
+        ''')
+        assert vm.call("Main", "isEven", [10]) is True
+        assert vm.call("Main", "isEven", [7]) is False
+
+    def test_virtual_dispatch(self, vm):
+        vm.load_source('''
+            class Animal { def speak() { return "..."; } }
+            class Dog extends Animal { def speak() { return "woof"; } }
+            class Cat extends Animal { def speak() { return "meow"; } }
+            def speakAll(animals) {
+              var out = "";
+              for (a in animals) { out = out + a.speak(); }
+              return out;
+            }
+            def run() {
+              return speakAll([new Dog(), new Cat(), new Animal()]);
+            }
+        ''')
+        assert vm.call("Main", "run") == "woofmeow..."
+
+    def test_inherited_method_and_fields(self, vm):
+        vm.load_source('''
+            class Base { var x; def init() { this.x = 1; } def get() { return this.x; } }
+            class Derived extends Base { def bump() { this.x = this.x + 10; } }
+            def run() {
+              var d = new Derived();
+              d.init();
+              d.bump();
+              return d.get();
+            }
+        ''')
+        assert vm.call("Main", "run") == 11
+
+    def test_instanceof(self, vm):
+        vm.load_source('''
+            class A { }
+            class B extends A { }
+            def run() {
+              var b = new B();
+              return [b is A, b is B, 3 is A];
+            }
+        ''')
+        assert vm.call("Main", "run") == [True, True, False]
+
+    def test_throw_propagates(self, vm):
+        vm.load_source('def boom() { throw "bad"; }')
+        with pytest.raises(GuestThrow) as exc:
+            vm.call("Main", "boom")
+        assert exc.value.value == "bad"
+
+    def test_output_capture(self, vm):
+        vm.load_source('def hello() { println("hi"); print(42); }')
+        vm.call("Main", "hello")
+        assert vm.output() == "hi\n42"
+        vm.clear_output()
+        assert vm.output() == ""
+
+    def test_null_field_access_raises(self, vm):
+        vm.load_source('def f() { var x = null; return x.foo; }')
+        with pytest.raises(GuestError):
+            vm.call("Main", "f")
+
+    def test_natives_math(self, vm):
+        vm.load_source('def f() { return Math.max(Math.abs(0 - 5), 3); }')
+        assert vm.call("Main", "f") == 5
+
+    def test_string_builtins(self, vm):
+        vm.load_source('''
+            def f() {
+              var parts = split("a,b,c", ",");
+              return [len(parts), parts[1], charCode("A", 0),
+                      substring("hello", 1, 3), parseInt("42")];
+            }
+        ''')
+        assert vm.call("Main", "f") == [3, "b", 65, "el", 42]
+
+
+class TestResumability:
+    """The interpreter must be resumable at an arbitrary bci with a
+    prepared frame chain — the deoptimization contract."""
+
+    def test_resume_mid_method(self):
+        vm = vm_with([fact_builder()])
+        method = vm.linker.resolve_static("Main", "fact")
+        # Resume at the loop header with n=3, acc=100 already set.
+        frame = InterpreterFrame(method)
+        frame.set_local(0, 3)
+        frame.set_local(1, 100)
+        frame.bci = 2   # loop header (after const/store prologue)
+        assert vm.run_frames(frame) == 100 * 3 * 2
+
+    def test_resume_with_parent_chain(self, vm):
+        vm.load_source('''
+            def inner(x) { return x * 10; }
+            def outer(x) { return inner(x) + 1; }
+        ''')
+        inner = vm.linker.resolve_static("Main", "inner")
+        outer = vm.linker.resolve_static("Main", "outer")
+        parent = InterpreterFrame(outer)
+        # outer's code: LOAD 0, INVOKE_STATIC inner, CONST 1, ADD, RET_VAL
+        parent.bci = 2          # resume after the call returns
+        child = InterpreterFrame(inner, parent=parent)
+        child.set_local(0, 7)
+        assert vm.run_frames(child) == 71
+
+
+class TestProfiler:
+    def test_counts_invocations(self, vm):
+        vm.load_source('''
+            def leaf() { return 1; }
+            def run() { var i = 0; while (i < 5) { leaf(); i = i + 1; } }
+        ''')
+        vm.profile = True
+        vm.call("Main", "run")
+        assert vm.profiler.invocation_count("Main.leaf") == 5
+        assert "Main.leaf" in vm.profiler.hot_methods(5)
+        assert "Main.leaf" not in vm.profiler.hot_methods(6)
+
+    def test_native_counts(self, vm):
+        vm.load_source('def run() { println(1); println(2); }')
+        vm.profile = True
+        vm.call("Main", "run")
+        assert vm.profiler.native_calls["Builtins.println"] == 2

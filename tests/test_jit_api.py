@@ -1,0 +1,119 @@
+"""Lancet facade: entry points, error contracts, background compilation,
+type feedback."""
+
+import time
+
+import pytest
+
+from repro import Lancet, make_hot
+from repro.errors import GuestTypeError
+from tests.conftest import load
+
+
+class TestEntryPoints:
+    def test_compile_method_against_receiver(self):
+        j = load('''
+            class Greeter {
+              val prefix;
+              def init(p) { this.prefix = p; }
+              def greet(name) { return this.prefix + name; }
+            }
+        ''')
+        g = j.vm.new_object("Greeter", ["hi "])
+        compiled = j.compile_method("Greeter", "greet", g)
+        assert compiled("bob") == "hi bob"
+        assert "hi " in compiled.source   # receiver folded in
+
+    def test_compile_non_closure_rejected(self, jit):
+        with pytest.raises(GuestTypeError):
+            jit.compile_closure(42)
+
+    def test_compile_object_without_apply_rejected(self):
+        j = load("class Plain { }")
+        obj = j.vm.new_object("Plain")
+        with pytest.raises(GuestTypeError, match="apply"):
+            j.compile_closure(obj)
+
+    def test_compile_log_records_units(self):
+        j = load("def f(x) { return x; }")
+        j.compile_function("Main", "f")
+        assert any(name == "Main.f" for name, __ in j.compile_log)
+
+    def test_compiled_repr_and_stats(self):
+        j = load("def f(x) { return x; }")
+        c = j.compile_function("Main", "f")
+        assert "Main.f" in repr(c)
+        assert c.compile_count == 1
+        assert c.deopt_count == 0
+
+    def test_recompile_after_manual_invalidation(self):
+        j = load("def f(x) { return x + 1; }")
+        c = j.compile_function("Main", "f")
+        c.invalidate("test")
+        assert not c.valid
+        assert c(1) == 2
+        assert c.valid
+        assert c.compile_count == 2
+
+    def test_independent_lancet_instances(self):
+        j1 = load("def f(x) { return 1; }")
+        j2 = load("def f(x) { return 2; }")
+        assert j1.compile_function("Main", "f")(0) == 1
+        assert j2.compile_function("Main", "f")(0) == 2
+
+
+class TestBackgroundCompilation:
+    SRC = '''
+        def calc(x, y) {
+          var acc = 0;
+          var i = 0;
+          while (i < x) { acc = acc + y + i; i = i + 1; }
+          return acc;
+        }
+    '''
+
+    def test_interprets_until_compiled(self):
+        j = load(self.SRC)
+        hot = make_hot(j, "Main", "calc", threshold=1, background=True)
+        expected = sum(7 + i for i in range(40))
+        # First calls interpret; compilation lands asynchronously.
+        for __ in range(3):
+            assert hot(40, 7) == expected
+        for w in list(hot.pending.values()):
+            w.join(timeout=10)
+        # One more call adopts the compiled variant.
+        assert hot(40, 7) == expected
+        assert 40 in hot.cache
+
+    def test_foreground_mode_unchanged(self):
+        j = load(self.SRC)
+        hot = make_hot(j, "Main", "calc", threshold=1, background=False)
+        hot(5, 1)
+        hot(5, 1)
+        assert 5 in hot.cache
+
+
+class TestTypeFeedback:
+    def test_monomorphic_site_detection(self):
+        j = load('''
+            class A { def tag() { return 1; } }
+            class B extends A { def tag() { return 2; } }
+            def mono(o) { return o.tag(); }
+            def run() {
+              var a = new A();
+              var b = new B();
+              var i = 0;
+              while (i < 5) { mono(a); i = i + 1; }
+              mono(b);
+              return 0;
+            }
+        ''')
+        j.vm.profile = True
+        j.vm.call("Main", "run")
+        sites = j.vm.profiler.receiver_types
+        # The call inside mono() saw two receiver classes -> polymorphic.
+        mono_sites = [s for s in sites if "Main.mono" in s]
+        assert mono_sites
+        assert mono_sites[0] not in j.vm.profiler.monomorphic_sites()
+        counts = sites[mono_sites[0]]
+        assert counts["A"] == 5 and counts["B"] == 1

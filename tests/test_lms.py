@@ -1,0 +1,160 @@
+"""LMS layer: staging context, CSE, DCE, block fusion, code generation."""
+
+from repro.lms.codegen_py import eliminate_dead, fuse_blocks
+from repro.lms.ir import Block, Branch, Effect, Jump, Return, Stmt
+from repro.lms.rep import ConstRep, StaticRep, Sym
+from repro.lms.staging import StagingContext
+
+
+class TestStagingContext:
+    def test_fresh_syms_unique(self):
+        ctx = StagingContext()
+        assert ctx.fresh_sym().name != ctx.fresh_sym().name
+
+    def test_cse_within_block(self):
+        ctx = StagingContext()
+        block = ctx.new_block(0)
+        ctx.set_current(block)
+        a, b = Sym("a"), Sym("b")
+        s1 = ctx.emit("add", (a, b))
+        s2 = ctx.emit("add", (a, b))
+        assert s1 == s2
+        assert len(block.stmts) == 1
+
+    def test_no_cse_across_blocks(self):
+        ctx = StagingContext()
+        b0 = ctx.new_block(0)
+        ctx.set_current(b0)
+        a = Sym("a")
+        s1 = ctx.emit("add", (a, ConstRep(1)))
+        b1 = ctx.new_block(1)
+        ctx.set_current(b1)
+        s2 = ctx.emit("add", (a, ConstRep(1)))
+        assert s1 != s2
+
+    def test_no_cse_for_effectful(self):
+        ctx = StagingContext()
+        block = ctx.new_block(0)
+        ctx.set_current(block)
+        a = Sym("a")
+        s1 = ctx.emit("getfield", (a, "f"), effect=Effect.READ)
+        s2 = ctx.emit("getfield", (a, "f"), effect=Effect.READ)
+        assert s1 != s2
+
+    def test_statics_identity_keyed(self):
+        ctx = StagingContext()
+        obj = [1, 2]
+        r1 = ctx.lift_static(obj)
+        r2 = ctx.lift_static(obj)
+        assert r1.index == r2.index
+        assert ctx.lift_static([1, 2]).index != r1.index
+
+    def test_lift_primitives_vs_objects(self):
+        ctx = StagingContext()
+        assert isinstance(ctx.lift(3), ConstRep)
+        assert isinstance(ctx.lift([1]), StaticRep)
+
+    def test_taint_propagates_through_emit(self):
+        ctx = StagingContext()
+        block = ctx.new_block(0)
+        ctx.set_current(block)
+        a = Sym("a")
+        ctx.set_taint(a, True)
+        s = ctx.emit("add", (a, ConstRep(1)))
+        assert ctx.is_tainted(s)
+
+
+def make_block(bid, stmts, term):
+    b = Block(bid)
+    b.stmts = stmts
+    b.terminator = term
+    return b
+
+
+class TestDCE:
+    def test_removes_unused_pure(self):
+        s_dead = Stmt(Sym("d"), "add", (ConstRep(1), ConstRep(2)),
+                      Effect.PURE)
+        s_live = Stmt(Sym("l"), "add", (ConstRep(3), ConstRep(4)),
+                      Effect.PURE)
+        blocks = {0: make_block(0, [s_dead, s_live], Return(Sym("l")))}
+        removed = eliminate_dead(blocks)
+        assert removed == 1
+        assert blocks[0].stmts == [s_live]
+
+    def test_keeps_effectful(self):
+        s = Stmt(Sym("x"), "putfield", (Sym("o"), "f", ConstRep(1)),
+                 Effect.WRITE)
+        blocks = {0: make_block(0, [s], Return(ConstRep(None)))}
+        assert eliminate_dead(blocks) == 0
+
+    def test_transitive_liveness(self):
+        s1 = Stmt(Sym("a"), "add", (ConstRep(1), ConstRep(2)), Effect.PURE)
+        s2 = Stmt(Sym("b"), "add", (Sym("a"), ConstRep(3)), Effect.PURE)
+        blocks = {0: make_block(0, [s1, s2], Return(Sym("b")))}
+        assert eliminate_dead(blocks) == 0
+
+    def test_unused_alloc_removed(self):
+        s = Stmt(Sym("o"), "new_array", (ConstRep(4),), Effect.ALLOC)
+        blocks = {0: make_block(0, [s], Return(ConstRep(0)))}
+        assert eliminate_dead(blocks) == 1
+
+    def test_branch_cond_is_a_use(self):
+        s = Stmt(Sym("c"), "lt", (Sym("x"), ConstRep(5)), Effect.PURE)
+        blocks = {
+            0: make_block(0, [s], Branch(Sym("c"), 1, [], 2, [])),
+            1: make_block(1, [], Return(ConstRep(1))),
+            2: make_block(2, [], Return(ConstRep(2))),
+        }
+        assert eliminate_dead(blocks) == 0
+
+
+class TestBlockFusion:
+    def test_single_pred_chain_collapses(self):
+        blocks = {
+            0: make_block(0, [Stmt(Sym("a"), "add",
+                                   (ConstRep(1), ConstRep(2)),
+                                   Effect.PURE)], Jump(1)),
+            1: make_block(1, [], Jump(2)),
+            2: make_block(2, [], Return(Sym("a"))),
+        }
+        fuse_blocks(blocks, 0)
+        assert list(blocks) == [0]
+        assert isinstance(blocks[0].terminator, Return)
+
+    def test_merge_block_not_fused(self):
+        blocks = {
+            0: make_block(0, [], Branch(Sym("c"), 1, [], 2, [])),
+            1: make_block(1, [], Jump(3)),
+            2: make_block(2, [], Jump(3)),
+            3: make_block(3, [], Return(ConstRep(0))),
+        }
+        fuse_blocks(blocks, 0)
+        assert 3 in blocks           # two predecessors: must survive
+
+    def test_phi_assigns_become_stmts(self):
+        blocks = {
+            0: make_block(0, [], Jump(1, [("p1_0", ConstRep(7))])),
+            1: make_block(1, [], Return(Sym("p1_0"))),
+        }
+        fuse_blocks(blocks, 0)
+        # fusion would break the entry; entry target is excluded
+        assert 0 in blocks
+
+    def test_self_loop_not_fused(self):
+        blocks = {
+            0: make_block(0, [], Jump(1)),
+            1: make_block(1, [], Jump(1)),
+        }
+        fuse_blocks(blocks, 0)
+        assert 1 in blocks
+
+
+class TestCodegenRendering:
+    def test_float_specials(self):
+        from repro.lms.codegen_py import PyCodegen
+        assert PyCodegen.const(float("nan")) == "float('nan')"
+        assert PyCodegen.const(float("inf")) == "float('inf')"
+        assert PyCodegen.const(float("-inf")) == "float('-inf')"
+        assert PyCodegen.const(1.5) == "1.5"
+        assert PyCodegen.const("a'b") == repr("a'b")

@@ -1,0 +1,207 @@
+"""JIT macros as user-facing extension points (paper 2.3): registry
+semantics, evalA/evalM/funR, custom user macros, macro-defined rewrites."""
+
+import pytest
+
+from repro.absint.absval import Const, Static, Unknown
+from repro.errors import MaterializeError
+from repro.lms.rep import ConstRep
+from repro.macros.registry import MacroRegistry
+from tests.conftest import load
+
+
+class TestRegistry:
+    def test_install_lookup_static(self):
+        r = MacroRegistry()
+        fn = lambda ctx, recv, args: None
+        r.install("C", "m", fn)
+        assert r.lookup_static("C", "m") is fn
+        assert r.lookup_static("C", "other") is None
+
+    def test_virtual_walks_superclasses(self):
+        from repro.bytecode.classfile import ClassFile
+        from repro.runtime.objects import RtClass
+        base = RtClass("Base", ClassFile("Base"), None)
+        sub = RtClass("Sub", ClassFile("Sub", super_name="Base"), base)
+        r = MacroRegistry()
+        fn = lambda ctx, recv, args: None
+        r.install("Base", "m", fn)
+        assert r.lookup_virtual(sub, "m") is fn
+
+    def test_install_class_object(self):
+        class Macros:
+            def foo(self, ctx, recv, args):
+                return None
+
+            def _private(self):
+                return None
+
+        r = MacroRegistry()
+        r.install_class("C", Macros())
+        assert r.lookup_static("C", "foo") is not None
+        assert r.lookup_static("C", "_private") is None
+
+    def test_uninstall(self):
+        r = MacroRegistry()
+        r.install("C", "m", lambda ctx, recv, args: None)
+        r.uninstall("C", "m")
+        assert r.lookup_static("C", "m") is None
+
+
+class TestCustomMacros:
+    def test_macro_replaces_method_call(self):
+        """A user macro rewrites a guest library call into a constant —
+        the 'smart library' mechanism."""
+        j = load('''
+            class MathLib { def cube(x) { return x * x * x; } }
+            def make(lib) {
+              return Lancet.compile(fun(x) => lib.cube(x));
+            }
+        ''')
+
+        seen = {}
+
+        def cube_macro(ctx, recv, args):
+            seen["called"] = True
+            x = args[0]
+            sq = ctx.emit("mul", (x, x), absval=Unknown(ty="num"))
+            return ctx.emit("mul", (sq, x), absval=Unknown(ty="num"))
+
+        j.install_macro("MathLib", "cube", cube_macro)
+        lib = j.vm.new_object("MathLib")
+        f = j.vm.call("Main", "make", [lib])
+        assert f(3) == 27
+        assert seen["called"]
+
+    def test_macro_none_falls_through(self):
+        j = load('''
+            class L { def id(x) { return x; } }
+            def make(l) { return Lancet.compile(fun(x) => l.id(x)); }
+        ''')
+        j.install_macro("L", "id", lambda ctx, recv, args: None)
+        l = j.vm.new_object("L")
+        f = j.vm.call("Main", "make", [l])
+        assert f(5) == 5   # normal inlining handled it
+
+    def test_macro_sees_abstract_values(self):
+        j = load('''
+            class L { def probe(x) { return 0; } }
+            def make(l) {
+              var k = 10;
+              return Lancet.compile(fun(x) => l.probe(k + 5) + x);
+            }
+        ''')
+        observed = {}
+
+        def probe(ctx, recv, args):
+            observed["abs"] = ctx.eval_abs(args[0])
+            return ctx.lift(0)
+
+        j.install_macro("L", "probe", probe)
+        l = j.vm.new_object("L")
+        f = j.vm.call("Main", "make", [l])
+        assert f(1) == 1
+        assert observed["abs"] == Const(15)   # folded before the macro ran
+
+    def test_eval_m_materializes_partial(self):
+        """evalM allocates an object from its abstract field map (the
+        paper's implementation, section 2.3)."""
+        j = load('''
+            class Pair { var a; var b; def init(a, b) { this.a = a; this.b = b; } }
+            class L { def grab(p) { return 0; } }
+            def make(l) {
+              return Lancet.compile(fun(x) {
+                var p = new Pair(1, [2, 3]);
+                return l.grab(p) + x;
+              });
+            }
+        ''')
+        got = {}
+
+        def grab(ctx, recv, args):
+            obj = ctx.eval_m(args[0])
+            got["a"] = obj.fields["a"]
+            got["b"] = obj.fields["b"]
+            return ctx.lift(0)
+
+        j.install_macro("L", "grab", grab)
+        l = j.vm.new_object("L")
+        f = j.vm.call("Main", "make", [l])
+        assert f(0) == 0
+        assert got == {"a": 1, "b": [2, 3]}
+
+    def test_eval_m_fails_on_dynamic(self):
+        j = load('''
+            class L { def grab(v) { return 0; } }
+            def make(l) { return Lancet.compile(fun(x) => l.grab(x)); }
+        ''')
+
+        def grab(ctx, recv, args):
+            with pytest.raises(MaterializeError):
+                ctx.eval_m(args[0])
+            return ctx.lift(0)
+
+        j.install_macro("L", "grab", grab)
+        l = j.vm.new_object("L")
+        assert j.vm.call("Main", "make", [l])(9) == 0
+
+    def test_fun_r_unfolds_closure(self):
+        """funR: turn Rep[A=>B] into Rep[A]=>Rep[B] by inlining."""
+        j = load('''
+            class L { def twice(f, x) { return f(f(x)); } }
+            def make(l) {
+              return Lancet.compile(fun(x) => l.twice(fun(v) => v + 1, x));
+            }
+        ''')
+
+        def twice(ctx, recv, args):
+            f, x = args
+
+            def after_first(machine, state, r1):
+                return ctx.fun_r(f, [r1])
+
+            return ctx.fun_r(f, [x], on_return=after_first)
+
+        j.install_macro("L", "twice", twice)
+        l = j.vm.new_object("L")
+        f = j.vm.call("Main", "make", [l])
+        assert f(10) == 12
+        assert "_callm" not in f.source and "_callv" not in f.source
+
+    def test_macro_guard_speculation(self):
+        """A macro can emit its own guards (custom speculation policy)."""
+        j = load('''
+            class L { def positive(x) { if (x > 0) { return true; } return false; } }
+            def make(l) {
+              return Lancet.compile(fun(x) {
+                if (l.positive(x)) { return x; }
+                return 0 - x;
+              });
+            }
+        ''')
+
+        def positive(ctx, recv, args):
+            x = args[0]
+            cond = ctx.emit("gt", (x, ConstRep(0)), absval=Unknown(ty="bool"))
+            ctx.guard(cond, result_value=False)
+            return ctx.lift(True)
+
+        j.install_macro("L", "positive", positive)
+        l = j.vm.new_object("L")
+        f = j.vm.call("Main", "make", [l])
+        assert f(5) == 5
+        assert f(-5) == 5      # deopt path re-runs in the interpreter
+        assert f.deopt_count == 1
+
+    def test_macro_on_static_namespace(self):
+        j = load('''
+            def make() { return Lancet.compile(fun(x) => Magic.add3(x)); }
+        ''')
+
+        def add3(ctx, recv, args):
+            return ctx.emit("add", (args[0], ConstRep(3)),
+                            absval=Unknown(ty="num"))
+
+        j.install_macro("Magic", "add3", add3)
+        f = j.vm.call("Main", "make")
+        assert f(4) == 7

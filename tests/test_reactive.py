@@ -1,0 +1,71 @@
+"""Reactive observer networks over stable structure (paper 3.2)."""
+
+import pytest
+
+from repro import Lancet
+from repro.apps import load_app
+
+
+@pytest.fixture
+def jit():
+    j = Lancet()
+    load_app(j, "reactive", module="Reactive")
+    for cls, field in [("Sum", "left"), ("Sum", "right"),
+                       ("Scale", "input"), ("Scale", "factor"),
+                       ("Max", "left"), ("Max", "right")]:
+        j.mark_stable(cls, field)
+    return j
+
+
+def build_network(jit):
+    """out = max(2 * (a + b), c)"""
+    a = jit.vm.new_object("Source", [1.0])
+    b = jit.vm.new_object("Source", [2.0])
+    c = jit.vm.new_object("Source", [10.0])
+    s = jit.vm.new_object("Sum", [a, b])
+    sc = jit.vm.new_object("Scale", [s, 2.0])
+    out = jit.vm.new_object("Max", [sc, c])
+    return a, b, c, out
+
+
+class TestReactiveNetwork:
+    def test_interpreted_evaluation(self, jit):
+        a, b, c, out = build_network(jit)
+        assert jit.vm.call_virtual(out, "eval", []) == 10.0
+        a.put("value", 10.0)
+        assert jit.vm.call_virtual(out, "eval", []) == 24.0
+
+    def test_compiled_propagation(self, jit):
+        a, b, c, out = build_network(jit)
+        compiled = jit.vm.call("Reactive", "compileNetwork", [out])
+        assert compiled(0) == 10.0
+        # Source values stay dynamic: updates flow without recompiling.
+        a.put("value", 10.0)
+        assert compiled(0) == 24.0
+        assert compiled.compile_count == 1
+
+    def test_topology_devirtualized(self, jit):
+        """The network structure compiles away: no virtual dispatch, no
+        eval() calls — just reads of the source cells plus arithmetic."""
+        __, __, __, out = build_network(jit)
+        compiled = jit.vm.call("Reactive", "compileNetwork", [out])
+        compiled(0)
+        assert "_callv" not in compiled.source
+        assert "eval" not in compiled.source
+
+    def test_rewiring_invalidates_and_recompiles(self, jit):
+        a, b, c, out = build_network(jit)
+        compiled = jit.vm.call("Reactive", "compileNetwork", [out])
+        assert compiled(0) == 10.0
+        # Structural update: out now compares against a new subnetwork.
+        d = jit.vm.new_object("Source", [100.0])
+        out.put("right", d)               # @stable write -> invalidation
+        assert not compiled.valid
+        assert compiled(0) == 100.0
+        assert compiled.compile_count == 2
+
+    def test_scale_factor_is_stable_constant(self, jit):
+        __, __, __, out = build_network(jit)
+        compiled = jit.vm.call("Reactive", "compileNetwork", [out])
+        compiled(0)
+        assert "2.0" in compiled.source   # factor folded into the code

@@ -1,0 +1,143 @@
+"""Property-based round-trips: random valid bytecode survives
+disassemble→assemble→verify→interpret unchanged, and compiler limits fail
+loudly rather than hanging."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CompileOptions, Lancet
+from repro.bytecode import (ClassFile, MethodBuilder, Op, assemble,
+                            disassemble_class, verify_class)
+from repro.errors import CompilationError
+from repro.interp import Interpreter
+
+
+@st.composite
+def random_method(draw):
+    """A random but always-valid straight-line+branch method of one
+    parameter, built via MethodBuilder."""
+    b = MethodBuilder("f", 1, is_static=True)
+    acc = b.alloc_slot()
+    b.const(draw(st.integers(-5, 5))).store(acc)
+    n_ops = draw(st.integers(1, 8))
+    for __ in range(n_ops):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            b.load(acc).const(draw(st.integers(-9, 9))).emit(
+                draw(st.sampled_from([Op.ADD, Op.SUB, Op.MUL]))).store(acc)
+        elif kind == 1:
+            b.load(0).load(acc).emit(Op.ADD).store(acc)
+        elif kind == 2:
+            # if (acc < k) acc = acc + 1
+            skip = b.new_label()
+            b.load(acc).const(draw(st.integers(-5, 5))).emit(Op.LT)
+            b.jif_false(skip)
+            b.load(acc).const(1).emit(Op.ADD).store(acc)
+            b.label(skip)
+        else:
+            b.load(acc).emit(Op.NEG).store(acc)
+    b.load(acc).ret_val()
+    return b.build()
+
+
+class TestAssemblerRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(random_method(), st.integers(-10, 10))
+    def test_disassemble_assemble_preserves_semantics(self, method, x):
+        cf = ClassFile("M")
+        cf.add_method(method)
+        verify_class(cf)
+        vm1 = Interpreter()
+        vm1.load_classes([cf])
+        expected = vm1.call("M", "f", [x])
+
+        text = disassemble_class(cf)
+        cf2 = assemble(text)[0]
+        verify_class(cf2)
+        vm2 = Interpreter()
+        vm2.load_classes([cf2])
+        assert vm2.call("M", "f", [x]) == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_method(), st.integers(-10, 10))
+    def test_compiled_builder_method_matches_interpreter(self, method, x):
+        cf = ClassFile("Main")
+        cf.add_method(method)
+        jit = Lancet()
+        jit.vm.load_classes([cf])
+        expected = jit.vm.call("Main", "f", [x])
+        compiled = jit.compile_function("Main", "f")
+        assert compiled(x) == expected
+
+
+class TestCompilerLimits:
+    def test_inline_depth_limit_fails_loudly(self):
+        """Mutually recursive inlining under inlineAlways hits the
+        explicit depth limit instead of diverging."""
+        jit = Lancet(options=CompileOptions(inline_policy="always",
+                                            max_inline_depth=30))
+        jit.load('''
+            def ping(n) { return pong(n); }
+            def pong(n) { return ping(n); }
+        ''')
+        with pytest.raises(CompilationError, match="depth"):
+            jit.compile_function("Main", "ping")
+
+    def test_statement_budget(self):
+        jit = Lancet(options=CompileOptions(max_stmts=50))
+        jit.load('''
+            def big(x) {
+              var s = x;
+              s = s * 2 + 1; s = s * 2 + 1; s = s * 2 + 1; s = s * 2 + 1;
+              s = s * 2 + 1; s = s * 2 + 1; s = s * 2 + 1; s = s * 2 + 1;
+              s = s * 2 + 1; s = s * 2 + 1; s = s * 2 + 1; s = s * 2 + 1;
+              s = s * 2 + 1; s = s * 2 + 1; s = s * 2 + 1; s = s * 2 + 1;
+              s = s * 2 + 1; s = s * 2 + 1; s = s * 2 + 1; s = s * 2 + 1;
+              s = s * 2 + 1; s = s * 2 + 1; s = s * 2 + 1; s = s * 2 + 1;
+              s = s * 2 + 1; s = s * 2 + 1; s = s * 2 + 1; s = s * 2 + 1;
+              return s;
+            }
+        ''')
+        with pytest.raises(CompilationError, match="budget"):
+            jit.compile_function("Main", "big")
+
+    def test_unroll_limit_suggests_freeze(self):
+        from repro.errors import UnrollError
+        jit = Lancet(options=CompileOptions(unroll_limit=8))
+        jit.load('''
+            def make() {
+              return Lancet.compile(fun(x) {
+                return Lancet.unrollTopLevel(fun() {
+                  var i = 0;
+                  var acc = [x];
+                  while (i < 100) { acc[0] = acc[0] + 1; i = i + 1; }
+                  return acc[0];
+                });
+              });
+            }
+        ''')
+        with pytest.raises(UnrollError, match="freeze"):
+            jit.vm.call("Main", "make")
+
+    def test_fixpoint_convergence_on_deep_loop_nest(self):
+        """Triple-nested loops converge (widening terminates) and compute
+        correctly."""
+        jit = Lancet()
+        jit.load('''
+            def nest(n) {
+              var total = 0;
+              var i = 0;
+              while (i < n) {
+                var j = 0;
+                while (j < n) {
+                  var k = 0;
+                  while (k < n) { total = total + 1; k = k + 1; }
+                  j = j + 1;
+                }
+                i = i + 1;
+              }
+              return total;
+            }
+        ''')
+        compiled = jit.compile_function("Main", "nest")
+        assert compiled(5) == 125

@@ -1,0 +1,213 @@
+"""Program specialization (paper 3.1): freeze, unroll, ntimes,
+specialization against live heap objects."""
+
+import pytest
+
+from repro.errors import FreezeError, UnrollError
+from tests.conftest import load
+
+
+class TestClosureSpecialization:
+    def test_val_field_folds(self):
+        j = load('''
+            class Adder { val k; def init(k) { this.k = k; } }
+            def make(k) {
+              var a = new Adder(k);
+              return Lancet.compile(fun(x) => x + a.k);
+            }
+        ''')
+        f = j.vm.call("Main", "make", [42])
+        assert f(8) == 50
+        assert "42" in f.source
+        assert "getfield" not in f.source and "fields[" not in f.source
+
+    def test_var_field_stays_dynamic(self):
+        j = load('''
+            class Cell { var v; def init(v) { this.v = v; } }
+            def make() {
+              var c = new Cell(1);
+              return [Lancet.compile(fun(x) => x + c.v), c];
+            }
+        ''')
+        f, cell = j.vm.call("Main", "make")
+        assert f(10) == 11
+        cell.put("v", 5)
+        assert f(10) == 15   # mutable state read at runtime
+
+    def test_two_specializations_coexist(self):
+        # "multiple versions need to be active at the same time" (paper §1)
+        j = load('''
+            class Adder { val k; def init(k) { this.k = k; } }
+            def make(k) {
+              var a = new Adder(k);
+              return Lancet.compile(fun(x) => x + a.k);
+            }
+        ''')
+        f1 = j.vm.call("Main", "make", [1])
+        f2 = j.vm.call("Main", "make", [100])
+        assert f1(0) == 1
+        assert f2(0) == 100
+
+    def test_compiled_closure_callable_from_guest(self):
+        j = load('''
+            def make() { return Lancet.compile(fun(x) => x * 2); }
+            def useIt(f, v) { return f(v) + 1; }
+        ''')
+        f = j.vm.call("Main", "make")
+        assert j.vm.call("Main", "useIt", [f, 10]) == 21
+
+
+class TestFreeze:
+    def test_freeze_folds_computation(self):
+        j = load('''
+            def make() {
+              var arr = ["a", "b", "c"];
+              return Lancet.compile(fun(s) => Lancet.freeze(indexOf(arr, "c")) + s);
+            }
+        ''')
+        f = j.vm.call("Main", "make")
+        assert f(10) == 12
+        assert "indexOf" not in f.source
+
+    def test_freeze_fails_on_dynamic(self):
+        j = load('''
+            def make() {
+              return Lancet.compile(fun(x) => Lancet.freeze(x + 1));
+            }
+        ''')
+        with pytest.raises(FreezeError):
+            j.vm.call("Main", "make")
+
+    def test_freeze_allows_allocating_natives(self):
+        # split() is only foldable through freeze (aliasing would be baked).
+        j = load('''
+            def make() {
+              var line = "x,y,z";
+              return Lancet.compile(fun(i) {
+                var parts = Lancet.freeze(split(line, ","));
+                return parts[i];
+              });
+            }
+        ''')
+        f = j.vm.call("Main", "make")
+        assert f(1) == "y"
+
+    def test_freeze_interpreted_is_identity(self, jit):
+        jit.load("def f() { return Lancet.freeze(3 * 4); }")
+        assert jit.vm.call("Main", "f") == 12
+
+
+class TestNtimes:
+    def test_unrolls(self):
+        j = load('''
+            class Box { var v; def init(v) { this.v = v; } }
+            def make() {
+              return Lancet.compile(fun(x) {
+                var b = new Box(x);
+                Lancet.ntimes(4, fun(i) { b.v = b.v + i; });
+                return b.v;
+              });
+            }
+        ''')
+        f = j.vm.call("Main", "make")
+        assert f(10) == 16
+        assert "while" not in f.source.replace("while True", "")
+        assert "_newinst" not in f.source     # Box sank away
+
+    def test_dynamic_trip_count_rejected(self):
+        j = load('''
+            def make() {
+              return Lancet.compile(fun(n) {
+                Lancet.ntimes(n, fun(i) { println(i); });
+                return 0;
+              });
+            }
+        ''')
+        with pytest.raises(UnrollError):
+            j.vm.call("Main", "make")
+
+    def test_interpreted_semantics(self, jit):
+        jit.load('''
+            def f() {
+              var b = [0];
+              Lancet.ntimes(3, fun(i) { b[0] = b[0] + i; });
+              return b[0];
+            }
+        ''')
+        assert jit.vm.call("Main", "f") == 3
+
+    def test_loopy_through_inlining(self):
+        # Paper: `def loopy(x) = ntimes(x) { ... }` unrolled at the call
+        # site because freeze sees the inlined constant.
+        j = load('''
+            def loopy(out, n) {
+              Lancet.ntimes(n, fun(i) { out[0] = out[0] + 1; });
+            }
+            def make() {
+              return Lancet.compile(fun(x) {
+                var out = [x];
+                loopy(out, 7);
+                return out[0];
+              });
+            }
+        ''')
+        f = j.vm.call("Main", "make")
+        assert f(0) == 7
+
+
+class TestNaturalUnrolling:
+    SRC = '''
+        def make(n) {
+          return Lancet.compile(fun(x) {
+            return Lancet.unrollTopLevel(fun() {
+              var acc = [x];
+              var i = 0;
+              while (i < Lancet.freeze(n)) { acc[0] = acc[0] * 2; i = i + 1; }
+              return acc[0];
+            });
+          });
+        }
+    '''
+
+    def test_unrolls_static_loop(self):
+        j = load(self.SRC)
+        f = j.vm.call("Main", "make", [5])
+        assert f(1) == 32
+        # No residual loop: no block parameters / phi assignments.
+        assert "p" not in "".join(
+            ln for ln in f.source.splitlines() if " = p" in ln)
+
+    def test_without_scope_loop_stays(self):
+        j = load('''
+            def make(n) {
+              return Lancet.compile(fun(x) {
+                var acc = x;
+                var i = 0;
+                while (i < n) { acc = acc * 2; i = i + 1; }
+                return acc;
+              });
+            }
+        ''')
+        f = j.vm.call("Main", "make", [5])
+        assert f(1) == 32
+        assert "p" in f.source   # merge-block params present
+
+
+class TestUnrollMarker:
+    def test_unroll_scope_on_current_frame(self):
+        j = load('''
+            def make() {
+              var xs = [2, 3, 4];
+              return Lancet.compile(fun(x) {
+                var marked = Lancet.unroll(xs);
+                var s = x;
+                var i = 0;
+                while (i < len(marked)) { s = s + marked[i]; i = i + 1; }
+                return s;
+              });
+            }
+        ''')
+        f = j.vm.call("Main", "make")
+        assert f(1) == 10
+        # Folding reduced the loop to straight-line adds over statics.
+        assert "while" not in f.source.replace("while True", "")
