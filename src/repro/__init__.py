@@ -26,12 +26,14 @@ from repro.errors import (CompilationError, FreezeError, GuestError,
 from repro.interp.interpreter import Interpreter
 from repro.jit.api import Lancet
 from repro.jit.cache import CodeCache, make_hot, make_jit
+from repro.observability import CompileReport, Telemetry
 
 __version__ = "0.1.0"
 
 __all__ = [
     "Lancet", "Interpreter", "CompileOptions", "CompiledFunction",
     "CodeCache", "make_jit", "make_hot",
+    "Telemetry", "CompileReport",
     "ReproError", "GuestError", "CompilationError", "FreezeError",
     "MaterializeError", "UnrollError", "NoAllocError", "TaintError",
     "__version__",

@@ -5,6 +5,10 @@
     python -m repro dis program.mj                    # show bytecode
     python -m repro dump program.mj fn                # show generated code
 
+``run`` and ``jit`` accept ``--jit-stats`` (print a JSON stats summary to
+stderr after execution) and ``--trace-jit out.jsonl`` (record JIT telemetry
+events and export them as JSONL).
+
 Arguments are parsed as Python literals (42, 3.5, "text", True).
 """
 
@@ -12,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import sys
 
 from repro import Lancet
@@ -34,19 +39,44 @@ def _load(path, module):
     return jit
 
 
+def _telemetry_begin(jit, args):
+    if getattr(args, "trace_jit", None):
+        jit.telemetry.enable_trace()
+
+
+def _telemetry_end(jit, args):
+    status = 0
+    trace_path = getattr(args, "trace_jit", None)
+    if trace_path:
+        try:
+            n = jit.telemetry.export_jsonl(trace_path)
+        except OSError as e:
+            print("error: cannot write trace to %s: %s" % (trace_path, e),
+                  file=sys.stderr)
+            status = 1
+        else:
+            print("wrote %d events to %s" % (n, trace_path), file=sys.stderr)
+    if getattr(args, "jit_stats", False):
+        print(json.dumps(jit.stats(), indent=2, sort_keys=True,
+                         default=str), file=sys.stderr)
+    return status
+
+
 def cmd_run(args):
     jit = _load(args.program, args.module)
     jit.vm._output_mode = "stdout"
+    _telemetry_begin(jit, args)
     result = jit.vm.call(args.module, args.fn,
                          [_parse_arg(a) for a in args.args])
     if result is not None:
         print(result)
-    return 0
+    return _telemetry_end(jit, args)
 
 
 def cmd_jit(args):
     jit = _load(args.program, args.module)
     jit.vm._output_mode = "stdout"
+    _telemetry_begin(jit, args)
     compiled = jit.compile_function(args.module, args.fn)
     result = compiled(*[_parse_arg(a) for a in args.args])
     if result is not None:
@@ -54,7 +84,7 @@ def cmd_jit(args):
     if args.show_code:
         print("\n--- generated code ---", file=sys.stderr)
         print(compiled.source, file=sys.stderr)
-    return 0
+    return _telemetry_end(jit, args)
 
 
 def cmd_dis(args):
@@ -87,6 +117,10 @@ def main(argv=None):
     p.add_argument("fn", nargs="?", default="main")
     p.add_argument("args", nargs="*")
     p.add_argument("--module", default="Main")
+    p.add_argument("--jit-stats", action="store_true",
+                   help="print a JSON stats summary to stderr")
+    p.add_argument("--trace-jit", metavar="PATH",
+                   help="record JIT events; export as JSONL to PATH")
     p.set_defaults(handler=cmd_run)
 
     p = sub.add_parser("jit", help="compile a function, then run it")
@@ -95,6 +129,10 @@ def main(argv=None):
     p.add_argument("args", nargs="*")
     p.add_argument("--module", default="Main")
     p.add_argument("--show-code", action="store_true")
+    p.add_argument("--jit-stats", action="store_true",
+                   help="print a JSON stats summary to stderr")
+    p.add_argument("--trace-jit", metavar="PATH",
+                   help="record JIT events; export as JSONL to PATH")
     p.set_defaults(handler=cmd_jit)
 
     p = sub.add_parser("dis", help="disassemble compiled bytecode")

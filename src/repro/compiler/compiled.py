@@ -46,6 +46,10 @@ class CompiledFunction:
         """Discard this compiled code; the next call recompiles."""
         self.valid = False
         self.invalidated_reason = reason
+        tel = getattr(self.jit, "telemetry", None)
+        if tel is not None:
+            tel.inc("invalidations")
+            tel.record("invalidate", unit=self.name, reason=reason)
 
     def recompile(self):
         if self._recompile is None:
@@ -79,6 +83,15 @@ class CompiledFunction:
         self.deopt_count += 1
         meta = self.metas[deopt.meta_id]
         kind = getattr(meta, "kind", "interpret")
+        tel = getattr(self.jit, "telemetry", None)
+        if tel is not None:
+            tel.inc("deopts")
+            if meta.reason == "guard":
+                tel.inc("guard_failures")
+            tel.record("deopt", unit=self.name, kind=kind,
+                       reason=meta.reason,
+                       method=meta.frames[-1].method.qualified_name,
+                       bci=meta.frames[-1].bci)
         if kind == "recompile":
             # `stable` guard: recompile for future calls, finish this one
             # in the interpreter.

@@ -40,5 +40,9 @@ class CompileOptions:
     # Delite accelerator-op fusion (paper 3.4); off for ablations.
     delite_fusion: bool = True
 
+    # Memoize compile_function/compile_method per (method, specialization,
+    # options) in Lancet.unit_cache; off forces a fresh compilation.
+    unit_cache: bool = True
+
     # Treat compilation warnings as errors.
     warnings_as_errors: bool = False

@@ -200,11 +200,22 @@ class StagedInterpreter:
     """Compiles one unit (a guest closure/method under given abstract
     arguments) to a CFG of staged IR."""
 
-    def __init__(self, vm, macros, options=None):
+    def __init__(self, vm, macros, options=None, telemetry=None):
         self.vm = vm
         self.linker = vm.linker
         self.macros = macros
         self.options = options or CompileOptions()
+        self.telemetry = telemetry
+        # Decision counters, reset each fixpoint pass so that after
+        # compile_unit they describe the final (emitted) code, not the sum
+        # over abandoned passes. Mirrored into the unit's CompileReport.
+        self.pass_count = 0
+        self.inline_count = 0
+        self.residual_count = 0
+        self.guard_count = 0
+        self.deopt_site_count = 0
+        self.unroll_clone_count = 0
+        self.macro_count = 0
         # Persistent across passes:
         self.statics = _Statics()
         self.merge_infos = {}
@@ -250,6 +261,13 @@ class StagedInterpreter:
             self._stmt_budget = self.options.max_stmts
             self.stable_deps = []
             self._fresh_arrays = set()
+            self.pass_count = pass_num + 1
+            self.inline_count = 0
+            self.residual_count = 0
+            self.guard_count = 0
+            self.deopt_site_count = 0
+            self.unroll_clone_count = 0
+            self.macro_count = 0
 
             entry_state = build_entry_state()
             # Seed abstract facts for the entry parameter syms.
@@ -262,6 +280,9 @@ class StagedInterpreter:
                 bid, state, params = self._worklist.popleft()
                 self._generate_block(bid, state, params)
 
+            self._tel_record("compile.phase", pass_num=pass_num + 1,
+                             changed=self._pass_changed,
+                             blocks=len(self.ctx.blocks))
             if not self._pass_changed:
                 break
         else:
@@ -282,6 +303,11 @@ class StagedInterpreter:
             leaks=self._leaks,
             noalloc_sites=self._noalloc_sites,
         )
+
+    def _tel_record(self, kind, /, **data):
+        tel = self.telemetry
+        if tel is not None:
+            tel.record(kind, **data)
 
     def _bid_for_prologue(self):
         if not hasattr(self, "_prologue_bid"):
@@ -586,6 +612,10 @@ class StagedInterpreter:
             extra = (("const", result),)
         meta_id, lives = self.snapshot(state, extra_stack=extra, kind=kind,
                                        reason="guard")
+        self.guard_count += 1
+        self._tel_record("guard.install", kind=kind, expect=expect,
+                         method=state.frame.method.qualified_name,
+                         bci=state.frame.bci, pass_num=self.pass_count)
         op = "guard" if expect else "guard_not"
         return self.emit(state, op, (cond_rep, meta_id) + tuple(lives),
                          effect=Effect.GUARD)
@@ -699,6 +729,10 @@ class StagedInterpreter:
                     self.options.unroll_limit,
                     state.frame.method.qualified_name, state.frame.bci))
         self._pass_versions[key] = n
+        self.unroll_clone_count += 1
+        self._tel_record("unroll.clone", version=n,
+                         method=state.frame.method.qualified_name,
+                         bci=state.frame.bci, pass_num=self.pass_count)
         vkey = key + (("v", n),)
         info = self.merge_infos.get(vkey)
         if info is None:
@@ -1018,6 +1052,10 @@ class StagedInterpreter:
             meta_id, lives = self.snapshot(
                 state, extra_stack=(("const", result.result),),
                 kind="interpret", reason="slowpath")
+            self.deopt_site_count += 1
+            self._tel_record("deopt.site", kind="slowpath",
+                             method=state.frame.method.qualified_name,
+                             bci=state.frame.bci, pass_num=self.pass_count)
             if self.emit_flags(state).get("noalloc"):
                 self._noalloc_sites.append(
                     "deoptimization point (slowpath) in %s"
@@ -1028,6 +1066,10 @@ class StagedInterpreter:
             meta_id, lives = self.snapshot(
                 state, extra_stack=(("const", result.result),),
                 kind="osr", reason="fastpath")
+            self.deopt_site_count += 1
+            self._tel_record("deopt.site", kind="fastpath",
+                             method=state.frame.method.qualified_name,
+                             bci=state.frame.bci, pass_num=self.pass_count)
             block.terminator = OsrCompile(meta_id, lives)
             return _END
         if isinstance(result, ReturnDirective):
@@ -1095,6 +1137,10 @@ class StagedInterpreter:
             if macro is not None:
                 result = macro(MacroContext(self, state), recv, args)
                 if result is not None:
+                    self.macro_count += 1
+                    self._tel_record("macro.expand", target="%s.%s"
+                                     % (cls.name, name),
+                                     pass_num=self.pass_count)
                     return self._apply_macro_result(state, block, result)
             try:
                 method = self.linker.resolve_virtual(cls, name)
@@ -1107,10 +1153,18 @@ class StagedInterpreter:
             policy, updates = self._call_policy(state, method)
             if policy == "always" or (policy == "nonrec"
                                       and not self._is_recursive(state, method)):
+                self.inline_count += 1
+                self._tel_record("inline.decision", action="inline",
+                                 callee=method.qualified_name, policy=policy,
+                                 pass_num=self.pass_count)
                 self._push_inline(state, method, recv, args,
                                   scope_updates=updates)
                 return _CONTINUE
+            self._tel_record("inline.decision", action="residual",
+                             callee=method.qualified_name, policy=policy,
+                             pass_num=self.pass_count)
         # Residual virtual call.
+        self.residual_count += 1
         self.escape(state, recv)
         for a in args:
             self.escape(state, a)
@@ -1126,6 +1180,10 @@ class StagedInterpreter:
         if macro is not None:
             result = macro(MacroContext(self, state), None, args)
             if result is not None:
+                self.macro_count += 1
+                self._tel_record("macro.expand", target="%s.%s"
+                                 % (cls_name, name),
+                                 pass_num=self.pass_count)
                 return self._apply_macro_result(state, block, result)
         nat = lookup_native(cls_name, name)
         if nat is not None:
@@ -1153,8 +1211,16 @@ class StagedInterpreter:
         policy, updates = self._call_policy(state, method)
         if policy == "always" or (policy == "nonrec"
                                   and not self._is_recursive(state, method)):
+            self.inline_count += 1
+            self._tel_record("inline.decision", action="inline",
+                             callee=method.qualified_name, policy=policy,
+                             pass_num=self.pass_count)
             self._push_inline(state, method, None, args, scope_updates=updates)
             return _CONTINUE
+        self.residual_count += 1
+        self._tel_record("inline.decision", action="residual",
+                         callee=method.qualified_name, policy=policy,
+                         pass_num=self.pass_count)
         for a in args:
             self.escape(state, a)
             self._note_static_write(state, a)

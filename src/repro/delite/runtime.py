@@ -43,6 +43,7 @@ class DeliteRuntime:
         self.ops_run = 0
         self.fused_ops_run = 0
         self._np_cache = {}
+        self.telemetry = None            # set by repro.jit.api.Lancet
 
     def configure(self, backend, cores=1):
         self.backend = backend
@@ -81,8 +82,18 @@ class DeliteRuntime:
     def run(self, op, *args):
         """Execute one op. The first ``op.n_elem`` args are element inputs."""
         self.ops_run += 1
-        if "∘" in getattr(getattr(op, "kernel", None), "name", ""):
+        fused = "∘" in getattr(getattr(op, "kernel", None), "name", "")
+        if fused:
             self.fused_ops_run += 1
+        tel = self.telemetry
+        if tel is not None:
+            tel.inc("delite.kernels")
+            if fused:
+                tel.inc("delite.fused_kernels")
+            tel.record("delite.launch", op=type(op).__name__,
+                       backend=self.backend, fused=fused,
+                       kernel=getattr(getattr(op, "kernel", None), "name",
+                                      None))
         t0 = time.perf_counter()
         if isinstance(op, ZipWithIndexOp):
             result = self._run_zip_with_index(op, args[0])

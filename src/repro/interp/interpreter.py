@@ -43,6 +43,7 @@ class Interpreter:
     def __init__(self, linker=None, output="capture", max_steps=None):
         self.linker = linker if linker is not None else Linker()
         self.jit = None                  # set by repro.jit.api.Lancet
+        self.telemetry = None            # set by repro.jit.api.Lancet
         self.profiler = Profiler()
         self.profile = False
         self.max_steps = max_steps
@@ -106,6 +107,8 @@ class Interpreter:
         if method.num_params != len(args):
             raise GuestTypeError("%s expects %d args, got %d" % (
                 method.qualified_name, method.num_params, len(args)))
+        if self.telemetry is not None:
+            self.telemetry.inc("interp.invocations")
         frame = InterpreterFrame(method)
         base = 0
         if not method.is_static:

@@ -19,12 +19,17 @@ class Profiler:
         self.invocations = Counter()        # qualified method name -> count
         self.native_calls = Counter()       # "Cls.name" -> count
         self.receiver_types = defaultdict(Counter)  # site -> class name -> count
+        self.telemetry = None               # mirrored into Metrics when set
 
     def count_invoke(self, method):
         self.invocations[method.qualified_name] += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("profile.invocations")
 
     def count_native(self, class_name, name):
         self.native_calls["%s.%s" % (class_name, name)] += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("profile.native_calls")
 
     def count_receiver(self, site, class_name):
         self.receiver_types[site][class_name] += 1

@@ -19,6 +19,9 @@ Delite accelerator macros.
 
 from __future__ import annotations
 
+import dataclasses
+import time
+
 from repro.compiler.compiled import CompiledFunction, ContinuationClosure
 from repro.compiler.deopt import reconstruct_frames
 from repro.compiler.options import CompileOptions
@@ -30,22 +33,33 @@ from repro.interp.interpreter import Interpreter
 from repro.lms.codegen_py import PyCodegen
 from repro.lms.rep import Sym
 from repro.macros.registry import MacroRegistry
+from repro.observability import CompileReport, Telemetry
 from repro.runtime.objects import Obj
 
 
 class Lancet:
     """A VM plus an explicitly-invokable JIT compiler."""
 
-    def __init__(self, vm=None, options=None):
+    def __init__(self, vm=None, options=None, telemetry=None):
         self.vm = vm if vm is not None else Interpreter()
         self.vm.jit = self
         self.options = options if options is not None else CompileOptions()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.vm.telemetry = self.telemetry
+        self.vm.profiler.telemetry = self.telemetry
         self.macros = MacroRegistry()
+        self.macros.telemetry = self.telemetry
         from repro.macros.core import install_core_macros
         install_core_macros(self.macros)
         self.compile_log = []     # (unit name, CompiledFunction)
+        from repro.jit.cache import CodeCache
+        # Unit cache: one entry per (method, specialization, options); lets
+        # repeated compile_function/compile_method calls share code.
+        self.unit_cache = CodeCache(telemetry=self.telemetry,
+                                    name="unit_cache")
         from repro.delite.runtime import DeliteRuntime
         self.delite = DeliteRuntime()
+        self.delite.telemetry = self.telemetry
         self.vm.delite = self.delite
 
     # -- loading -----------------------------------------------------------------
@@ -86,7 +100,13 @@ class Lancet:
         return rebuild()
 
     def compile_function(self, class_name, method_name, options=None):
-        """JIT-compile a static guest method for dynamic arguments."""
+        """JIT-compile a static guest method for dynamic arguments.
+
+        Results are memoized in :attr:`unit_cache` per (method,
+        specialization, options) — a second call for the same unit is a
+        cache hit, not a recompilation (disable with
+        ``CompileOptions(unit_cache=False)``).
+        """
         method = self.vm.linker.resolve_static(class_name, method_name)
 
         def rebuild():
@@ -94,11 +114,13 @@ class Lancet:
                 method, receiver=None, options=options,
                 name=method.qualified_name, recompile=rebuild)
 
-        return rebuild()
+        return self._cached_unit(method, None, options, rebuild)
 
     def compile_method(self, class_name, method_name, receiver,
                        options=None):
-        """JIT-compile an instance method against a specific receiver."""
+        """JIT-compile an instance method against a specific receiver.
+        Memoized per (method, receiver identity, options) like
+        :meth:`compile_function`."""
         cls = self.vm.linker.resolve_class(class_name)
         method = self.vm.linker.resolve_virtual(cls, method_name)
 
@@ -107,9 +129,18 @@ class Lancet:
                 method, receiver=receiver, options=options,
                 name=method.qualified_name, recompile=rebuild)
 
-        return rebuild()
+        return self._cached_unit(method, receiver, options, rebuild)
 
     # -- internals -------------------------------------------------------------------
+
+    def _cached_unit(self, method, receiver, options, rebuild):
+        opts = options or self.options
+        if not opts.unit_cache:
+            return rebuild()
+        key = (id(method), method.qualified_name,
+               id(receiver) if receiver is not None else None,
+               dataclasses.astuple(opts))
+        return self.unit_cache.get_or_else_update(key, rebuild)
 
     def _initial_scope(self, options):
         scope = {"inline": options.inline_policy}
@@ -122,7 +153,12 @@ class Lancet:
     def _compile_unit(self, method, receiver, options=None, name="unit",
                       recompile=None, entry_frames=None):
         options = options or self.options
-        machine = StagedInterpreter(self.vm, self.macros, options)
+        tel = self.telemetry
+        tel.record("compile.start", unit=name)
+        t_start = time.perf_counter()
+        report = CompileReport(name=name)
+        machine = StagedInterpreter(self.vm, self.macros, options,
+                                    telemetry=tel)
         scope = self._initial_scope(options)
 
         if entry_frames is None:
@@ -154,13 +190,43 @@ class Lancet:
                     parent = af
                 return MachineState(parent)
 
+        t0 = time.perf_counter()
         result = machine.compile_unit(build_entry, param_names)
+        report.phases["staging"] = time.perf_counter() - t0
+        report.passes = machine.pass_count
+        report.inlines = machine.inline_count
+        report.residual_calls = machine.residual_count
+        report.guards_installed = machine.guard_count
+        report.deopt_sites = machine.deopt_site_count
+        report.unroll_clones = machine.unroll_clone_count
+        report.macro_expansions = machine.macro_count
         self._enforce_demands(result, options, name)
         compiled = self._emit(result, param_names, name, recompile,
-                              fuse=options.delite_fusion)
+                              fuse=options.delite_fusion, report=report)
+        report.warnings = len(compiled.warnings)
+        compiled.report = report
         for obj, field in result.stable_deps:
             obj.add_stable_dep(field, compiled)
         self.compile_log.append((name, compiled))
+
+        total = time.perf_counter() - t_start
+        tel.inc("compiles")
+        tel.inc("inlines", machine.inline_count)
+        tel.inc("residual_calls", machine.residual_count)
+        tel.inc("guards_installed", machine.guard_count)
+        tel.inc("deopt_sites", machine.deopt_site_count)
+        tel.inc("unroll_clones", machine.unroll_clone_count)
+        tel.inc("macro.expansions", machine.macro_count)
+        tel.observe("compile.total", total)
+        for phase, seconds in report.phases.items():
+            tel.observe("compile.phase.%s" % phase, seconds)
+        tel.record("compile.end", unit=name, seconds=total,
+                   passes=report.passes, blocks=report.blocks,
+                   stmts=report.stmts, inlines=report.inlines,
+                   guards=report.guards_installed,
+                   deopt_sites=report.deopt_sites,
+                   unroll_clones=report.unroll_clones,
+                   warnings=report.warnings)
         return compiled
 
     def _enforce_demands(self, result, options, name):
@@ -176,7 +242,8 @@ class Lancet:
         if options.warnings_as_errors and result.warnings:
             raise CompilationWarningList(result.warnings)
 
-    def _emit(self, result, param_names, name, recompile, fuse=True):
+    def _emit(self, result, param_names, name, recompile, fuse=True,
+              report=None):
         metas = result.metas
         vm = self.vm
         codegen = PyCodegen(vm, result.statics, metas)
@@ -194,10 +261,19 @@ class Lancet:
             return self._osr_execute(metas[meta_id], lives)
 
         if fuse:
+            t0 = time.perf_counter()
             from repro.delite.fusion import fuse_delite
             fuse_delite(result.blocks, jit=self)
+            if report is not None:
+                report.phases["fusion"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
         fn, source = codegen.generate(result.blocks, result.entry_bid,
                                       param_names, callv, callm, mkcont, osr)
+        if report is not None:
+            report.phases["codegen"] = time.perf_counter() - t0
+            report.blocks = len(result.blocks)
+            report.stmts = sum(len(b.stmts)
+                               for b in result.blocks.values())
         compiled = CompiledFunction(self, fn, source, metas,
                                     recompile=recompile, name=name,
                                     warnings=result.warnings)
@@ -214,6 +290,10 @@ class Lancet:
             frames.append(f)
             f = f.parent
         frames.reverse()
+        self.telemetry.inc("osr.compiles")
+        self.telemetry.record("osr.compile",
+                              method=leaf.method.qualified_name,
+                              bci=leaf.bci)
         try:
             compiled = self._compile_unit(
                 leaf.method, receiver=None, name="osr@%s:%d"
@@ -224,3 +304,48 @@ class Lancet:
             leaf = reconstruct_frames(meta, lives)
             return self.vm.run_frames(leaf)
         return compiled()
+
+    # -- aggregated statistics ---------------------------------------------------
+
+    def stats(self):
+        """Aggregate observability snapshot for this VM: compile counts and
+        per-phase timings, cache traffic, speculation outcomes, and the
+        per-unit :class:`~repro.observability.CompileReport` list."""
+        m = self.telemetry.metrics
+        compile_total = m.timing("compile.total")
+        phases = {}
+        for tname in list(m.timings()):
+            if tname.startswith("compile.phase."):
+                phases[tname[len("compile.phase."):]] = m.timing(tname)
+        caches = {}
+        for cname in ("unit_cache", "jit_cache"):
+            probes = {
+                "hits": m.get("cache.%s.hits" % cname),
+                "misses": m.get("cache.%s.misses" % cname),
+                "evictions": m.get("cache.%s.evictions" % cname),
+            }
+            if any(probes.values()):
+                caches[cname] = probes
+        return {
+            "compiles": m.get("compiles"),
+            "compile_seconds": (compile_total or {}).get("total", 0.0),
+            "compile_timing": compile_total,
+            "phase_timings": phases,
+            "cache_hits": m.get("cache.hits"),
+            "cache_misses": m.get("cache.misses"),
+            "cache_evictions": m.get("cache.evictions"),
+            "caches": caches,
+            "guards_installed": m.get("guards_installed"),
+            "guard_failures": m.get("guard_failures"),
+            "deopts": m.get("deopts"),
+            "deopt_sites": m.get("deopt_sites"),
+            "osr_compiles": m.get("osr.compiles"),
+            "invalidations": m.get("invalidations"),
+            "inlines": m.get("inlines"),
+            "residual_calls": m.get("residual_calls"),
+            "unroll_clones": m.get("unroll_clones"),
+            "macro_expansions": m.get("macro.expansions"),
+            "delite_kernels": m.get("delite.kernels"),
+            "interp_invocations": m.get("interp.invocations"),
+            "units": [name for name, _ in self.compile_log],
+        }

@@ -29,20 +29,36 @@ class CodeCache:
     the policy is a constructor argument: ``on_evict(key, compiled)``.
     """
 
-    def __init__(self, capacity=None, on_evict=None):
+    def __init__(self, capacity=None, on_evict=None, telemetry=None,
+                 name="cache"):
         self.capacity = capacity
         self.on_evict = on_evict
+        self.telemetry = telemetry
+        self.name = name
         self._entries = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    _EVENT_KIND = {"hits": "cache.hit", "misses": "cache.miss",
+                   "evictions": "cache.evict"}
+
+    def _count(self, what, **data):
+        tel = self.telemetry
+        if tel is not None:
+            tel.inc("cache.%s" % what)
+            tel.inc("cache.%s.%s" % (self.name, what))
+            tel.record(self._EVENT_KIND[what], cache=self.name, **data)
 
     def get(self, key):
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
             self.hits += 1
+            self._count("hits", key=repr(key), size=len(self._entries))
         else:
             self.misses += 1
+            self._count("misses", key=repr(key), size=len(self._entries))
         return entry
 
     def put(self, key, compiled):
@@ -50,6 +66,9 @@ class CodeCache:
         self._entries.move_to_end(key)
         if self.capacity is not None and len(self._entries) > self.capacity:
             old_key, old = self._entries.popitem(last=False)
+            self.evictions += 1
+            self._count("evictions", key=repr(old_key),
+                        size=len(self._entries))
             if self.on_evict is not None:
                 self.on_evict(old_key, old)
         return compiled
@@ -61,9 +80,15 @@ class CodeCache:
         return entry
 
     def invalidate_all(self, reason="cache flush"):
+        n = len(self._entries)
         for compiled in self._entries.values():
             compiled.invalidate(reason)
         self._entries.clear()
+        tel = self.telemetry
+        if tel is not None:
+            tel.inc("cache.flushes")
+            tel.record("cache.flush", cache=self.name, entries=n,
+                       reason=reason)
 
     def __len__(self):
         return len(self._entries)
@@ -104,7 +129,8 @@ def make_jit(jit, class_name, method_name, cache=None):
         raise GuestTypeError("make_jit needs a 2-argument function")
     closure_cls = _partial_applier_class(jit, class_name, method_name)
     if cache is None:
-        cache = CodeCache()
+        cache = CodeCache(telemetry=getattr(jit, "telemetry", None),
+                          name="jit_cache")
 
     def call(x, y):
         def compile_variant():

@@ -16,9 +16,13 @@ from __future__ import annotations
 class MacroRegistry:
     def __init__(self):
         self._macros = {}   # (class_name, method_name) -> fn
+        self.telemetry = None
 
     def install(self, class_name, method_name, fn):
         self._macros[(class_name, method_name)] = fn
+        if self.telemetry is not None:
+            self.telemetry.record("macro.install",
+                                  target="%s.%s" % (class_name, method_name))
 
     def install_class(self, class_name, macros_obj):
         """Install every public callable attribute of ``macros_obj`` as a

@@ -1,0 +1,98 @@
+"""Structured JIT observability: event tracing, metrics, compile reports.
+
+The paper's promise is *surgical control* over JIT behaviour; this package
+makes that behaviour observable, so tests and benchmarks can assert on
+what the compiler did (inlined, guarded, deoptimized, cached) rather than
+only on end results.
+
+One :class:`Telemetry` object is owned by each :class:`~repro.jit.api.Lancet`
+and threaded through the pipeline (interpreter, staged interpreter, code
+caches, macro registry, Delite runtime). It bundles:
+
+* an :class:`EventTrace` — a bounded ring buffer of typed events with
+  JSONL export, **disabled by default** (recording is a flag test when off);
+* a :class:`Metrics` registry — always-on counters and timing summaries,
+  touched only at rare pipeline events (never in generated code or the
+  interpreter dispatch loop);
+* per-unit :class:`CompileReport` objects attached to every compiled
+  function and aggregated by ``Lancet.stats()``.
+
+Event kinds emitted by the built-in instrumentation::
+
+    compile.start / compile.phase / compile.end
+    inline.decision          (action: inline | residual, policy)
+    unroll.clone             (polyvariant loop-header cloning)
+    guard.install            (speculation guards: kind, reason)
+    deopt.site               (slowpath / fastpath sites)
+    deopt                    (a runtime guard failure / OSR-out)
+    osr.compile              (fastpath continuation recompilation)
+    invalidate               (stable-field / manual invalidation)
+    cache.hit / cache.miss / cache.evict / cache.flush
+    macro.expand
+    delite.launch
+"""
+
+from __future__ import annotations
+
+from repro.observability.events import Event, EventTrace, load_jsonl
+from repro.observability.metrics import Metrics
+from repro.observability.report import CompileReport
+
+
+class Telemetry:
+    """The per-VM observability hub: an event trace plus a metrics registry.
+
+    Tracing is off by default; counters are always on (they only fire at
+    compile/deopt/cache-probe granularity). ``record``/``inc``/``observe``
+    are the three entry points instrumentation calls.
+    """
+
+    def __init__(self, trace_capacity=4096, trace_enabled=False):
+        self.trace = EventTrace(capacity=trace_capacity,
+                                enabled=trace_enabled)
+        self.metrics = Metrics()
+
+    # -- trace switch ----------------------------------------------------------
+
+    @property
+    def enabled(self):
+        """Whether event *tracing* is on (counters are always on)."""
+        return self.trace.enabled
+
+    def enable_trace(self):
+        self.trace.enabled = True
+        return self
+
+    def disable_trace(self):
+        self.trace.enabled = False
+        return self
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, kind, /, **data):
+        """Record a trace event (no-op unless tracing is enabled)."""
+        if not self.trace.enabled:
+            return None
+        return self.trace.record(kind, **data)
+
+    def inc(self, name, n=1):
+        self.metrics.inc(name, n)
+
+    def observe(self, name, seconds):
+        self.metrics.observe(name, seconds)
+
+    # -- convenience -----------------------------------------------------------
+
+    def events(self, kind=None):
+        return self.trace.events(kind)
+
+    def export_jsonl(self, path_or_file):
+        return self.trace.export_jsonl(path_or_file)
+
+    def reset(self):
+        self.trace.clear()
+        self.metrics.reset()
+
+
+__all__ = ["Telemetry", "Event", "EventTrace", "Metrics", "CompileReport",
+           "load_jsonl"]

@@ -1,0 +1,122 @@
+"""Typed event tracing for the compile pipeline.
+
+An :class:`EventTrace` is a bounded ring buffer of :class:`Event` records
+(compile start/end, inlining decisions, guards, deopts, cache traffic,
+macro expansions, Delite kernel launches, ...). Recording is disabled by
+default — ``record`` is a single flag test when off — and events can be
+exported as JSONL, one self-contained JSON object per line, replayable
+event-by-event in order of their ``seq`` numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+
+
+class Event:
+    """One telemetry event: a monotone sequence number, a wall-clock
+    timestamp, a dotted ``kind`` tag, and a flat JSON-serializable payload."""
+
+    __slots__ = ("seq", "ts", "kind", "data")
+
+    def __init__(self, seq, ts, kind, data):
+        self.seq = seq
+        self.ts = ts
+        self.kind = kind
+        self.data = data
+
+    def to_dict(self):
+        return {"seq": self.seq, "ts": self.ts, "kind": self.kind,
+                "data": self.data}
+
+    @classmethod
+    def from_dict(cls, d):
+        return cls(d["seq"], d["ts"], d["kind"], d.get("data", {}))
+
+    def __repr__(self):
+        return "<Event #%d %s %r>" % (self.seq, self.kind, self.data)
+
+
+class EventTrace:
+    """A bounded ring buffer of events.
+
+    The buffer holds at most ``capacity`` events; older events are dropped
+    (``dropped`` counts how many). ``enabled`` gates recording — when off,
+    ``record`` returns immediately so instrumented code paths pay only a
+    flag check.
+    """
+
+    def __init__(self, capacity=4096, enabled=False):
+        self.capacity = capacity
+        self.enabled = enabled
+        self._buf = deque(maxlen=capacity)
+        self._seq = 0
+        self.recorded = 0           # total ever recorded
+
+    @property
+    def dropped(self):
+        return self.recorded - len(self._buf)
+
+    def record(self, kind, /, **data):
+        """Append an event (no-op unless the trace is enabled)."""
+        if not self.enabled:
+            return None
+        self._seq += 1
+        event = Event(self._seq, time.time(), kind, data)
+        self._buf.append(event)
+        self.recorded += 1
+        return event
+
+    def events(self, kind=None):
+        """Events currently buffered, oldest first; optionally filtered by
+        ``kind`` (exact match, or prefix match when ending with '.')."""
+        if kind is None:
+            return list(self._buf)
+        if kind.endswith("."):
+            return [e for e in self._buf if e.kind.startswith(kind)]
+        return [e for e in self._buf if e.kind == kind]
+
+    def clear(self):
+        self._buf.clear()
+        self.recorded = 0
+
+    def __len__(self):
+        return len(self._buf)
+
+    def __iter__(self):
+        return iter(list(self._buf))
+
+    # -- JSONL export / replay -------------------------------------------------
+
+    def export_jsonl(self, path_or_file):
+        """Write buffered events as JSONL; returns the number written."""
+        if hasattr(path_or_file, "write"):
+            return self._write_jsonl(path_or_file)
+        with open(path_or_file, "w") as f:
+            return self._write_jsonl(f)
+
+    def _write_jsonl(self, f):
+        n = 0
+        for event in self._buf:
+            f.write(json.dumps(event.to_dict(), sort_keys=True))
+            f.write("\n")
+            n += 1
+        return n
+
+
+def load_jsonl(path_or_file):
+    """Replay a JSONL trace file back into a list of :class:`Event`, in
+    recorded order (each line is one event)."""
+    if hasattr(path_or_file, "read"):
+        lines = path_or_file.read().splitlines()
+    else:
+        with open(path_or_file) as f:
+            lines = f.read().splitlines()
+    events = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            events.append(Event.from_dict(json.loads(line)))
+    return events

@@ -1,0 +1,62 @@
+"""Counter / timing-summary registry.
+
+Counters and timings are plain dict operations at *rare* pipeline events
+(one compile, one deopt, one cache probe) — never inside generated code or
+the interpreter's dispatch loop — so the registry can stay always-on
+without measurable overhead on hot loops.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+class Metrics:
+    """Named counters plus summary "histograms" (count/total/min/max) for
+    durations, keyed by dotted metric names."""
+
+    def __init__(self):
+        self.counters = Counter()
+        self._timings = {}          # name -> [count, total, min, max]
+
+    # -- counters -------------------------------------------------------------
+
+    def inc(self, name, n=1):
+        self.counters[name] += n
+
+    def get(self, name):
+        return self.counters.get(name, 0)
+
+    # -- timings --------------------------------------------------------------
+
+    def observe(self, name, seconds):
+        entry = self._timings.get(name)
+        if entry is None:
+            self._timings[name] = [1, seconds, seconds, seconds]
+        else:
+            entry[0] += 1
+            entry[1] += seconds
+            if seconds < entry[2]:
+                entry[2] = seconds
+            if seconds > entry[3]:
+                entry[3] = seconds
+
+    def timing(self, name):
+        entry = self._timings.get(name)
+        if entry is None:
+            return None
+        count, total, lo, hi = entry
+        return {"count": count, "total": total, "min": lo, "max": hi,
+                "mean": total / count}
+
+    def timings(self):
+        return {name: self.timing(name) for name in self._timings}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def snapshot(self):
+        return {"counters": dict(self.counters), "timings": self.timings()}
+
+    def reset(self):
+        self.counters.clear()
+        self._timings.clear()

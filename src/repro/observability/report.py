@@ -1,0 +1,46 @@
+"""Per-compilation reports.
+
+Every :class:`~repro.compiler.compiled.CompiledFunction` carries a
+:class:`CompileReport` describing what the compiler actually did to that
+unit: per-phase wall times, fixpoint pass count, CFG size, and the
+decision counters accumulated by the staged interpreter (inlines vs
+residual calls, guards installed, unroll clones). ``Lancet.stats()``
+aggregates these across all units of a VM.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class CompileReport:
+    """What one compilation did. Times are wall-clock seconds."""
+
+    name: str = "unit"
+    phases: dict = dataclasses.field(default_factory=dict)
+    passes: int = 0
+    blocks: int = 0
+    stmts: int = 0
+    inlines: int = 0
+    residual_calls: int = 0
+    guards_installed: int = 0
+    deopt_sites: int = 0
+    unroll_clones: int = 0
+    macro_expansions: int = 0
+    warnings: int = 0
+
+    @property
+    def total_seconds(self):
+        return sum(self.phases.values())
+
+    def to_dict(self):
+        d = dataclasses.asdict(self)
+        d["total_seconds"] = self.total_seconds
+        return d
+
+    def __repr__(self):
+        return ("<CompileReport %s %.3fms passes=%d blocks=%d inlines=%d "
+                "guards=%d>" % (self.name, self.total_seconds * 1e3,
+                                self.passes, self.blocks, self.inlines,
+                                self.guards_installed))

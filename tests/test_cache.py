@@ -107,3 +107,64 @@ class TestInvalidation:
         assert not compiled.valid
         # A fresh call recompiles a new variant.
         assert calc_jit(2, 2) == expected_calc(2, 2)
+
+
+class TestCacheTelemetry:
+    def test_make_jit_counts_hits_and_misses(self):
+        j = load(CALC_SRC)
+        m = j.telemetry.metrics
+        calc_jit = make_jit(j, "Main", "calc")
+        calc_jit(5, 10)                 # miss -> compile
+        calc_jit(5, 20)                 # hit
+        calc_jit(3, 10)                 # miss -> compile
+        assert m.get("cache.jit_cache.misses") == 2
+        assert m.get("cache.jit_cache.hits") == 1
+        # Aggregated view via Lancet.stats(); the closure compilations
+        # themselves are deliberately uncached, so compiles == misses.
+        stats = j.stats()
+        assert stats["caches"]["jit_cache"]["hits"] == 1
+        assert stats["caches"]["jit_cache"]["misses"] == 2
+        assert stats["compiles"] == 2
+
+    def test_eviction_and_flush_counted(self):
+        j = load(CALC_SRC)
+        m = j.telemetry.metrics
+        cache = CodeCache(capacity=1, telemetry=j.telemetry,
+                          name="jit_cache")
+        calc_jit = make_jit(j, "Main", "calc", cache=cache)
+        calc_jit(1, 1)
+        calc_jit(2, 1)                  # evicts variant 1
+        assert m.get("cache.jit_cache.evictions") == 1
+        cache.invalidate_all()
+        assert m.get("cache.flushes") == 1
+
+    def test_cache_events_traced(self):
+        j = load(CALC_SRC)
+        j.telemetry.enable_trace()
+        calc_jit = make_jit(j, "Main", "calc")
+        calc_jit(5, 1)
+        calc_jit(5, 2)
+        kinds = [e.kind for e in j.telemetry.events("cache.")]
+        assert "cache.miss" in kinds and "cache.hit" in kinds
+
+    def test_unit_cache_single_compilation(self):
+        """Regression: two compile_function calls for the same (method,
+        specialization) must compile exactly once — the second is a cache
+        hit, not a recompilation."""
+        j = load(CALC_SRC)
+        m = j.telemetry.metrics
+        first = j.compile_function("Main", "calc")
+        second = j.compile_function("Main", "calc")
+        assert first is second
+        assert m.get("compiles") == 1
+        assert m.get("cache.unit_cache.hits") == 1
+        assert m.get("cache.unit_cache.misses") == 1
+
+    def test_unit_cache_disabled_recompiles(self):
+        from repro import CompileOptions
+        j = load(CALC_SRC)
+        opts = CompileOptions(unit_cache=False)
+        first = j.compile_function("Main", "calc", options=opts)
+        second = j.compile_function("Main", "calc", options=opts)
+        assert first is not second
+        assert j.telemetry.metrics.get("compiles") == 2

@@ -9,11 +9,16 @@ widening), codegen, and the shared operator semantics all at once.
 
 from __future__ import annotations
 
+import shutil
+import subprocess
+
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro import Lancet
+from repro import CompileOptions, Lancet
 from repro.errors import GuestError
+
+NODE = shutil.which("node")
 
 
 # -- structured program generator ---------------------------------------------
@@ -134,7 +139,7 @@ class TestDifferential:
         except GuestError as exc:
             interp_err = type(exc)
         interp_out = jit.vm.output()
-        jit.clear = jit.vm.clear_output()
+        jit.vm.clear_output()
 
         compiled = jit.compile_function("Main", "f")
         try:
@@ -152,10 +157,158 @@ class TestDifferential:
     @given(guest_program(), st.integers(-10, 10), st.integers(-10, 10))
     def test_compiled_equals_interpreted_no_inlining(self, source, a, b):
         """Same property with inlining disabled (residual-call paths)."""
-        from repro import CompileOptions
         jit = Lancet(options=CompileOptions(inline_policy="never"))
         jit.load(source)
         expected = jit.vm.call("Main", "f", [a, b])
         jit.vm.clear_output()
         compiled = jit.compile_function("Main", "f")
         assert compiled(a, b) == expected
+
+
+# Option variants that must not change observable behaviour: inlining
+# policies, loop-unroll budget clamped, unit cache off, partial-evaluation
+# aggressiveness dialed down, fusion off.
+OPTION_VARIANTS = [
+    CompileOptions(inline_policy="never"),
+    CompileOptions(inline_policy="always"),
+    CompileOptions(unroll_limit=1),
+    CompileOptions(unit_cache=False),
+    CompileOptions(delite_fusion=False, fold_val_fields=False),
+    CompileOptions(assume_static_arrays=False, speculate_stable=False),
+]
+
+
+class TestOptionMatrix:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(guest_program(), st.integers(-10, 10), st.integers(-10, 10))
+    def test_option_variants_equal_interpreter(self, source, a, b):
+        """The interpreter is the oracle: every CompileOptions variant must
+        produce the same result and the same printed output."""
+        jit = Lancet()
+        jit.load(source)
+        expected = jit.vm.call("Main", "f", [a, b])
+        expected_out = jit.vm.output()
+        jit.vm.clear_output()
+        for opts in OPTION_VARIANTS:
+            compiled = jit.compile_function("Main", "f", options=opts)
+            got = compiled(a, b)
+            got_out = jit.vm.output()
+            jit.vm.clear_output()
+            assert got == expected, (source, opts)
+            assert got_out == expected_out, (source, opts)
+
+
+# -- JS-backend differential ---------------------------------------------------
+# A magnitude-bounded program generator: every variable assignment is
+# reduced mod 997 and expression depth is capped, so all intermediate
+# values stay far below 2^53 and JS double arithmetic is exact.
+
+@st.composite
+def js_int_expr(draw, depth=0, env=("a", "b")):
+    if depth >= 2:
+        choice = draw(st.integers(0, 1))
+    else:
+        choice = draw(st.integers(0, 5))
+    if choice == 0:
+        return str(draw(st.integers(-9, 9)))
+    if choice == 1:
+        return draw(st.sampled_from(list(env)))
+    lhs = draw(js_int_expr(depth=depth + 1, env=env))
+    rhs = draw(js_int_expr(depth=depth + 1, env=env))
+    if choice <= 3:
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        return "(%s %s %s)" % (lhs, op, rhs)
+    if choice == 4:
+        k = draw(st.integers(1, 7)) * draw(st.sampled_from([1, -1]))
+        op = draw(st.sampled_from(["/", "%"]))
+        return "(%s %s %d)" % (lhs, op, k)
+    return "Math.max(%s, Math.min(%s, 9))" % (lhs, rhs)
+
+
+@st.composite
+def js_bool_expr(draw, env=("a", "b")):
+    lhs = draw(js_int_expr(depth=1, env=env))
+    rhs = draw(js_int_expr(depth=1, env=env))
+    op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+    return "(%s %s %s)" % (lhs, op, rhs)
+
+
+@st.composite
+def js_stmt_block(draw, depth, env):
+    stmts = []
+    env = list(env)
+    for __ in range(draw(st.integers(1, 3))):
+        kind = draw(st.integers(0, 5 if depth < 2 else 3))
+        if kind == 0 and depth == 0:
+            name = "t%d" % len([v for v in env if v.startswith("t")])
+            if name not in env:
+                stmts.append("var %s = (%s) %% 997;"
+                             % (name, draw(js_int_expr(env=tuple(env)))))
+                env.append(name)
+                continue
+            kind = 1
+        if kind in (0, 1):      # bounded assignment
+            target = draw(st.sampled_from(env))
+            stmts.append("%s = (%s) %% 997;"
+                         % (target, draw(js_int_expr(env=tuple(env)))))
+        elif kind == 2:         # print
+            stmts.append("println(%s);" % draw(js_int_expr(env=tuple(env))))
+        elif kind == 3:         # accumulate, bounded
+            target = draw(st.sampled_from(env))
+            stmts.append("%s = (%s + %s) %% 997;"
+                         % (target, target, draw(js_int_expr(env=tuple(env)))))
+        elif kind == 4:         # if/else
+            cond = draw(js_bool_expr(env=tuple(env)))
+            then = draw(js_stmt_block(depth + 1, tuple(env)))
+            orelse = draw(js_stmt_block(depth + 1, tuple(env)))
+            stmts.append("if (%s) { %s } else { %s }"
+                         % (cond, " ".join(then), " ".join(orelse)))
+        else:                   # bounded counting loop
+            bound = draw(st.integers(1, 5))
+            ctr = "i%d" % depth
+            body = draw(js_stmt_block(depth + 1, tuple(env)))
+            stmts.append(
+                "var %s = 0; while (%s < %d) { %s %s = %s + 1; }"
+                % (ctr, ctr, bound, " ".join(body), ctr, ctr))
+    return stmts
+
+
+@st.composite
+def js_guest_program(draw):
+    body = draw(js_stmt_block(0, ("a", "b")))
+    ret = draw(js_int_expr(env=("a", "b")))
+    return "def f(a, b) { %s return %s; }" % (" ".join(body), ret)
+
+
+def _normalize_js_lines(text):
+    # JS prints integer negative zero as "-0" (e.g. trunc-div of -1/7);
+    # guest/Python semantics have a single zero.
+    return [("0" if line == "-0" else line) for line in text.splitlines()]
+
+
+@pytest.mark.skipif(NODE is None, reason="node interpreter not available")
+class TestJsDifferential:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(js_guest_program(), st.integers(-20, 20), st.integers(-20, 20))
+    def test_js_backend_equals_interpreted(self, source, a, b):
+        from repro.backends.javascript import cross_compile_js
+        jit = Lancet()
+        jit.load(source)
+        expected = jit.vm.call("Main", "f", [a, b])
+        expected_out = jit.vm.output()
+        jit.vm.clear_output()
+
+        js = cross_compile_js(jit, "Main", "f")
+        harness = "%s\nconsole.log('RESULT:' + String(f(%d, %d)));\n" \
+            % (js, a, b)
+        proc = subprocess.run([NODE, "-e", harness], capture_output=True,
+                              text=True, timeout=60)
+        assert proc.returncode == 0, (source, proc.stderr)
+        lines = _normalize_js_lines(proc.stdout)
+        assert lines, (source, proc.stdout)
+        assert lines[-1] == "RESULT:%s" % expected, source
+        assert lines[:-1] == _normalize_js_lines(expected_out), source

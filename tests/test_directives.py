@@ -50,6 +50,45 @@ class TestInlinePolicies:
         assert "_callm" in c.source
 
 
+class TestInlineTelemetry:
+    SRC = TestInlinePolicies.SRC
+
+    def test_inline_decision_events(self):
+        j = load(self.SRC)
+        j.telemetry.enable_trace()
+        j.vm.call("Main", "makeAlways")
+        decisions = j.telemetry.events("inline.decision")
+        assert any(d.data["action"] == "inline"
+                   and d.data["callee"] == "Main.helper" for d in decisions)
+
+    def test_residual_decision_events(self):
+        j = load(self.SRC)
+        j.telemetry.enable_trace()
+        j.vm.call("Main", "makeNever")
+        decisions = j.telemetry.events("inline.decision")
+        assert any(d.data["action"] == "residual"
+                   and d.data["callee"] == "Main.helper"
+                   and d.data["policy"] == "never" for d in decisions)
+
+    def test_inline_counters_in_stats_and_report(self):
+        j = load("def helper(x) { return x * 3; }\n"
+                 "def f(x) { return helper(x); }")
+        c = j.compile_function("Main", "f")
+        assert c.report.inlines >= 1
+        assert c.report.residual_calls == 0
+        stats = j.stats()
+        assert stats["inlines"] >= 1
+        assert stats["residual_calls"] == 0
+
+    def test_residual_counters(self):
+        j = load("def helper(x) { return x * 3; }\n"
+                 "def f(x) { return helper(x); }",
+                 options=CompileOptions(inline_policy="never"))
+        c = j.compile_function("Main", "f")
+        assert c.report.inlines == 0
+        assert c.report.residual_calls >= 1
+
+
 class TestScopePatterns:
     SRC = '''
         def ioish(x) { return x + 1; }

@@ -203,6 +203,80 @@ class TestSlowpathFastpath:
         assert f.deopt_count == 1
 
 
+class TestSpeculationTelemetry:
+    SRC = TestSpeculate.SRC
+
+    def test_guard_install_counted(self):
+        j = load(self.SRC)
+        j.vm.call("Main", "make")
+        stats = j.stats()
+        assert stats["guards_installed"] >= 1
+        assert stats["guard_failures"] == 0
+        assert stats["deopts"] == 0
+
+    def test_guard_failure_and_deopt_counted(self):
+        j = load(self.SRC)
+        f = j.vm.call("Main", "make")
+        assert f(200) == -200          # guard fails -> deopt
+        assert f(300) == -300
+        stats = j.stats()
+        assert stats["deopts"] == 2
+        assert stats["guard_failures"] == 2
+
+    def test_slowpath_deopt_not_a_guard_failure(self):
+        j = load('''
+            def make() {
+              return Lancet.compile(fun(x) {
+                if (x > 10) { Lancet.slowpath(); return x * 100; }
+                return x + 1;
+              });
+            }
+        ''')
+        f = j.vm.call("Main", "make")
+        assert f(20) == 2000
+        stats = j.stats()
+        assert stats["deopts"] == 1
+        assert stats["guard_failures"] == 0    # explicit slowpath, no guard
+        assert stats["deopt_sites"] >= 1
+
+    def test_deopt_events_traced(self):
+        j = load(self.SRC)
+        j.telemetry.enable_trace()
+        f = j.vm.call("Main", "make")
+        f(5)
+        assert j.telemetry.events("deopt") == []
+        f(200)
+        events = j.telemetry.events("deopt")
+        assert len(events) == 1
+        assert events[0].data["reason"] == "guard"
+        installs = j.telemetry.events("guard.install")
+        assert len(installs) >= 1
+
+    def test_stable_invalidation_counted(self):
+        j = load(TestStable.SRC)
+        c = j.vm.new_object("Config", [7])
+        f = j.vm.call("Main", "make", [c])
+        f(0)
+        c.put("limit", 9)
+        f(1)
+        stats = j.stats()
+        assert stats["invalidations"] >= 1
+        assert stats["deopts"] >= 1
+
+    def test_osr_compile_counted(self):
+        j = load('''
+            def make() {
+              return Lancet.compile(fun(x) {
+                if (x > 10) { Lancet.fastpath(); return x * 100; }
+                return x + 1;
+              });
+            }
+        ''')
+        f = j.vm.call("Main", "make")
+        assert f(20) == 2000
+        assert j.stats()["osr_compiles"] == 1
+
+
 class TestLikely:
     def test_statically_false_warns(self):
         j = load('''
