@@ -7,7 +7,8 @@
 
 ``run`` and ``jit`` accept ``--jit-stats`` (print a JSON stats summary to
 stderr after execution) and ``--trace-jit out.jsonl`` (record JIT telemetry
-events and export them as JSONL).
+events and export them as JSONL). ``jit`` also accepts ``--analyze``
+(print the JIT lint report — collect-mode IR analysis — to stderr).
 
 Arguments are parsed as Python literals (42, 3.5, "text", True).
 """
@@ -77,6 +78,8 @@ def cmd_jit(args):
     jit = _load(args.program, args.module)
     jit.vm._output_mode = "stdout"
     _telemetry_begin(jit, args)
+    if args.analyze:
+        print(jit.analyze(args.module, args.fn).render(), file=sys.stderr)
     compiled = jit.compile_function(args.module, args.fn)
     result = compiled(*[_parse_arg(a) for a in args.args])
     if result is not None:
@@ -129,6 +132,9 @@ def main(argv=None):
     p.add_argument("args", nargs="*")
     p.add_argument("--module", default="Main")
     p.add_argument("--show-code", action="store_true")
+    p.add_argument("--analyze", action="store_true",
+                   help="print the JIT lint report (collect-mode IR "
+                        "analysis) to stderr before running")
     p.add_argument("--jit-stats", action="store_true",
                    help="print a JSON stats summary to stderr")
     p.add_argument("--trace-jit", metavar="PATH",

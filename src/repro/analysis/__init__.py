@@ -1,0 +1,33 @@
+"""IR-level analysis framework over the staged-IR CFG.
+
+A generic forward/backward worklist dataflow solver
+(:mod:`repro.analysis.dataflow`) plus the concrete passes the JIT
+pipeline runs between staging and code generation:
+
+* :mod:`repro.analysis.verify` — IR well-formedness verifier;
+* :mod:`repro.analysis.liveness` / :mod:`repro.analysis.dce` — backward
+  liveness, effect-aware DCE, redundant-guard elimination;
+* :mod:`repro.analysis.taint` — flow-sensitive taint propagation with
+  source→sink path reporting;
+* :mod:`repro.analysis.alloc` — post-optimization ``checkNoAlloc``;
+* :mod:`repro.analysis.diagnostics` / :mod:`repro.analysis.pipeline` —
+  the "JIT lint" layer and the orchestrating pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.alloc import check_noalloc
+from repro.analysis.dataflow import BackwardAnalysis, ForwardAnalysis, solve
+from repro.analysis.dce import eliminate_dead, eliminate_redundant_guards
+from repro.analysis.diagnostics import Diagnostic, Diagnostics
+from repro.analysis.liveness import LivenessAnalysis, live_sets
+from repro.analysis.pipeline import AnalysisPipeline
+from repro.analysis.taint import TaintAnalysis, find_leaks, taint_path
+from repro.analysis.verify import verify_ir
+
+__all__ = [
+    "AnalysisPipeline", "BackwardAnalysis", "Diagnostic", "Diagnostics",
+    "ForwardAnalysis", "LivenessAnalysis", "TaintAnalysis", "check_noalloc",
+    "eliminate_dead", "eliminate_redundant_guards", "find_leaks",
+    "live_sets", "solve", "taint_path", "verify_ir",
+]

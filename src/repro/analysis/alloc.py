@@ -1,0 +1,54 @@
+"""Post-optimization ``checkNoAlloc`` analysis (paper 3.3).
+
+The demanded property is about the *generated code*: "the code must not
+contain any allocations or deoptimization points". Checking at emit time
+(as the staged interpreter originally did) is too strict — a dead or sunk
+allocation that DCE removes never reaches the generated code. This pass
+therefore runs over the optimized CFG, right before rendering, and reports
+every surviving statement that violates the demand, with the allocating
+op and its bytecode provenance (``flags['src']``).
+
+Slowpath ``Deopt`` terminators are the one exception: they are recorded at
+staging time (terminators can never be dead-code eliminated, and the
+dynamic-scope information needed to attribute them is gone by now) and
+passed in via ``staged_sites``.
+"""
+
+from __future__ import annotations
+
+from repro.lms.ir import Effect
+
+_ALLOC_OPS = ("new", "new_array", "array_lit")
+
+
+def check_noalloc(blocks, staged_sites=()):
+    """Scan the optimized CFG for ``checkNoAlloc`` violations; returns a
+    list of site descriptions (empty when the demand holds)."""
+    sites = list(staged_sites)
+    for bid in sorted(blocks):
+        for stmt in blocks[bid].stmts:
+            if not stmt.flags.get("noalloc"):
+                continue
+            where = _provenance(stmt.flags)
+            if stmt.op == "native":
+                nat = stmt.args[0]
+                if getattr(nat, "allocates", False):
+                    sites.append("native %s.%s allocation%s"
+                                 % (nat.class_name, nat.name, where))
+                elif stmt.effect is Effect.CALL:
+                    sites.append("residual call to native %s.%s%s"
+                                 % (nat.class_name, nat.name, where))
+            elif stmt.effect is Effect.ALLOC or stmt.op in _ALLOC_OPS:
+                sites.append("%s allocation%s" % (stmt.op, where))
+            elif stmt.effect is Effect.CALL:
+                sites.append("residual call (%s)%s" % (stmt.op, where))
+            elif stmt.effect is Effect.GUARD:
+                sites.append("deoptimization point (guard)%s" % where)
+    return sites
+
+
+def _provenance(flags):
+    src = flags.get("src")
+    if not src:
+        return ""
+    return " in %s (bci %d)" % (src[0], src[1])

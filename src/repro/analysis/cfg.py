@@ -1,0 +1,130 @@
+"""CFG helpers shared by the IR analysis passes.
+
+The staged IR (:mod:`repro.lms.ir`) is a dict of ``{block_id: Block}``
+whose edges live in the terminators. These helpers expose the graph shape
+(successors, predecessors, reachability, reverse postorder) and the
+def/use structure of statements and terminators, so the dataflow passes
+never pattern-match terminator classes themselves.
+"""
+
+from __future__ import annotations
+
+from repro.lms.ir import Branch, Deopt, Jump, OsrCompile, Return
+from repro.lms.rep import Sym
+
+
+def successors(block):
+    """Successor block ids of ``block`` (empty for exits)."""
+    return list(block.terminator.successors())
+
+
+def predecessors(blocks):
+    """``{block_id: [pred_id, ...]}`` for every block (exits included)."""
+    preds = {bid: [] for bid in blocks}
+    for bid, block in blocks.items():
+        for succ in block.terminator.successors():
+            if succ in preds:
+                preds[succ].append(bid)
+    return preds
+
+
+def reachable_from(blocks, entry_id):
+    """Set of block ids reachable from ``entry_id``."""
+    seen = set()
+    work = [entry_id]
+    while work:
+        bid = work.pop()
+        if bid in seen or bid not in blocks:
+            continue
+        seen.add(bid)
+        work.extend(blocks[bid].terminator.successors())
+    return seen
+
+
+def reverse_postorder(blocks, entry_id):
+    """Block ids in reverse postorder from ``entry_id`` (a good iteration
+    order for forward dataflow problems)."""
+    order = []
+    seen = set()
+
+    def visit(bid):
+        # Iterative DFS: (block id, iterator over its successors).
+        stack = [(bid, iter(blocks[bid].terminator.successors()))]
+        seen.add(bid)
+        while stack:
+            current, succs = stack[-1]
+            advanced = False
+            for succ in succs:
+                if succ in blocks and succ not in seen:
+                    seen.add(succ)
+                    stack.append(
+                        (succ, iter(blocks[succ].terminator.successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    if entry_id in blocks:
+        visit(entry_id)
+    order.reverse()
+    return order
+
+
+def stmt_uses(stmt):
+    """Sym names read by one statement."""
+    return [a.name for a in stmt.args if isinstance(a, Sym)]
+
+
+def term_uses(term):
+    """Sym names read by a terminator (branch condition, phi-assign
+    values, return value, deopt live sets)."""
+    names = []
+
+    def use(rep):
+        if isinstance(rep, Sym):
+            names.append(rep.name)
+
+    if isinstance(term, Jump):
+        for __, rep in term.phi_assigns:
+            use(rep)
+    elif isinstance(term, Branch):
+        use(term.cond)
+        for __, rep in term.true_assigns:
+            use(rep)
+        for __, rep in term.false_assigns:
+            use(rep)
+    elif isinstance(term, Return):
+        use(term.value)
+    elif isinstance(term, (Deopt, OsrCompile)):
+        for rep in term.lives:
+            use(rep)
+    return names
+
+
+def phi_assigns_for_edge(term, succ_id):
+    """The ``[(param_name, rep)]`` list a terminator passes along the edge
+    to ``succ_id`` (empty for terminators without assigns)."""
+    if isinstance(term, Jump) and term.target == succ_id:
+        return term.phi_assigns
+    if isinstance(term, Branch):
+        assigns = []
+        # Both arms may target the same successor; concatenate.
+        if term.true_target == succ_id:
+            assigns.extend(term.true_assigns)
+        if term.false_target == succ_id:
+            assigns.extend(term.false_assigns)
+        return assigns
+    return []
+
+
+def count_uses(blocks):
+    """Global ``{sym name: use count}`` over statements and terminators."""
+    uses = {}
+    for block in blocks.values():
+        for stmt in block.stmts:
+            for name in stmt_uses(stmt):
+                uses[name] = uses.get(name, 0) + 1
+        for name in term_uses(block.terminator):
+            uses[name] = uses.get(name, 0) + 1
+    return uses

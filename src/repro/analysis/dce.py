@@ -1,0 +1,80 @@
+"""Effect-aware dead-code elimination and redundant-guard elimination.
+
+Both passes are pure IR→IR transformations over the CFG; the code
+generator (and the JIT pipeline in :mod:`repro.jit.api`) run them before
+rendering. DCE is where scalar-replaced and otherwise unused allocations
+finally disappear — which is also why the post-optimization
+``checkNoAlloc`` pass (:mod:`repro.analysis.alloc`) must run *after* it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.liveness import REMOVABLE_EFFECTS, live_sets
+from repro.lms.ir import Effect
+
+
+def eliminate_dead(blocks, entry_id=None):
+    """Delete pure/alloc statements whose results are never used.
+
+    Returns the number of statements removed. ``entry_id`` only seeds the
+    traversal order; when omitted, the lowest block id is used (the
+    backward solver visits unreachable blocks regardless).
+    """
+    if not blocks:
+        return 0
+    if entry_id is None or entry_id not in blocks:
+        entry_id = min(blocks)
+    live = live_sets(blocks, entry_id)
+    removed = 0
+    for bid, block in blocks.items():
+        needed = set(live[bid][1])          # live-out of this block
+        needed.update(_term_use_names(block.terminator))
+        kept = []
+        for stmt in reversed(block.stmts):
+            name = stmt.sym.name
+            if stmt.effect not in REMOVABLE_EFFECTS or name in needed:
+                kept.append(stmt)
+                needed.discard(name)
+                needed.update(a.name for a in stmt.args
+                              if hasattr(a, "name"))
+            else:
+                removed += 1
+        kept.reverse()
+        block.stmts = kept
+    return removed
+
+
+def _term_use_names(term):
+    from repro.analysis.cfg import term_uses
+    return term_uses(term)
+
+
+def eliminate_redundant_guards(blocks):
+    """Remove guards dominated by an identical guard in the same block.
+
+    The IR is SSA, so a guard condition's value cannot change between two
+    ``guard``/``guard_not`` statements on the same symbol: if the first
+    one passed, the second passes too. The guard's own symbol is a dummy
+    (``None`` in generated code), so a duplicate is removable whenever
+    that symbol is unused. Returns the number of guards removed.
+    """
+    from repro.analysis.cfg import count_uses
+    uses = count_uses(blocks)
+    removed = 0
+    for block in blocks.values():
+        seen = set()
+        kept = []
+        for stmt in block.stmts:
+            if stmt.op in ("guard", "guard_not"):
+                key = (stmt.op, stmt.args[0])
+                if key in seen and uses.get(stmt.sym.name, 0) == 0:
+                    removed += 1
+                    continue
+                seen.add(key)
+            elif stmt.effect is Effect.CALL:
+                # A residual call can deopt/recompile on its own; keep
+                # guards re-established after it (conservative).
+                seen.clear()
+            kept.append(stmt)
+        block.stmts = kept
+    return removed

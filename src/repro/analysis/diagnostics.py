@@ -1,0 +1,76 @@
+"""Structured "JIT lint" diagnostics.
+
+The analysis passes report findings here instead of (or in addition to)
+raising: in *collect* mode (``Lancet.analyze`` / ``repro jit --analyze``)
+every verifier error, taint leak, noalloc site, and compiler warning
+becomes a :class:`Diagnostic` with severity and provenance, plus
+informational findings about what the optimizer did (statements removed,
+redundant guards eliminated). The result renders as a compact text report
+and serializes to JSON for tooling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclasses.dataclass
+class Diagnostic:
+    severity: str               # 'error' | 'warning' | 'info'
+    kind: str                   # 'verify' | 'taint' | 'noalloc' | ...
+    message: str
+    unit: str = ""
+
+    def format(self):
+        where = " (%s)" % self.unit if self.unit else ""
+        return "%-7s %-8s %s%s" % (self.severity, self.kind, self.message,
+                                   where)
+
+    def to_dict(self):
+        return dataclasses.asdict(self)
+
+
+class Diagnostics:
+    """An ordered collection of findings for one analyzed unit."""
+
+    def __init__(self, unit=""):
+        self.unit = unit
+        self.findings = []
+
+    def add(self, severity, kind, message, unit=None):
+        if severity not in SEVERITIES:
+            raise ValueError("bad severity %r" % (severity,))
+        d = Diagnostic(severity, kind, message,
+                       unit if unit is not None else self.unit)
+        self.findings.append(d)
+        return d
+
+    def extend(self, severity, kind, messages, unit=None):
+        for m in messages:
+            self.add(severity, kind, m, unit=unit)
+
+    def errors(self):
+        return [d for d in self.findings if d.severity == "error"]
+
+    def warnings(self):
+        return [d for d in self.findings if d.severity == "warning"]
+
+    def __len__(self):
+        return len(self.findings)
+
+    def __iter__(self):
+        return iter(self.findings)
+
+    def to_dict(self):
+        return {"unit": self.unit,
+                "findings": [d.to_dict() for d in self.findings]}
+
+    def render(self):
+        lines = ["JIT lint report for %s: %d finding(s), %d error(s), "
+                 "%d warning(s)" % (self.unit or "<unit>", len(self.findings),
+                                    len(self.errors()), len(self.warnings()))]
+        for d in self.findings:
+            lines.append("  " + d.format())
+        return "\n".join(lines)

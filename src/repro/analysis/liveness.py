@@ -1,0 +1,54 @@
+"""Backward liveness over staged-IR symbol names.
+
+A symbol is live at a point if some path from that point reads it — in a
+statement argument, a terminator (branch condition, phi-assign value,
+return value, deopt live set), before being redefined. Since the IR is in
+block-argument SSA form (every name has exactly one definition), liveness
+here mainly answers "is this definition ever needed?", which is what the
+effect-aware DCE in :mod:`repro.analysis.dce` consumes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import stmt_uses, term_uses
+from repro.analysis.dataflow import BackwardAnalysis, solve
+from repro.lms.ir import Effect
+
+#: Effects whose statements may be deleted when their result is unused.
+REMOVABLE_EFFECTS = (Effect.PURE, Effect.ALLOC)
+
+
+class LivenessAnalysis(BackwardAnalysis):
+    """Live symbol names at each block boundary (may-analysis, union join).
+
+    The transfer function is effect-aware: a statement's arguments only
+    become live if the statement itself is live — it has a non-removable
+    effect, or its result is live below. This makes the fixpoint directly
+    usable for dead-code elimination (chains of dead pure statements never
+    mark each other live).
+    """
+
+    def bottom(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, block, out_value):
+        live = set(out_value)
+        live.update(term_uses(block.terminator))
+        for stmt in reversed(block.stmts):
+            name = stmt.sym.name
+            if stmt.effect not in REMOVABLE_EFFECTS or name in live:
+                live.discard(name)
+                live.update(stmt_uses(stmt))
+            else:
+                live.discard(name)
+        for param in block.params:
+            live.discard(param)
+        return frozenset(live)
+
+
+def live_sets(blocks, entry_id):
+    """``{block_id: (live_in, live_out)}`` of symbol names."""
+    return solve(blocks, entry_id, LivenessAnalysis())

@@ -1,0 +1,174 @@
+"""Flow-sensitive taint propagation (paper 3.3, as a dataflow pass).
+
+Taint *sources* are first-class IR ops: ``Lancet.taint(x)`` stages a
+``taint`` statement (identity in generated code) and ``Lancet.untaint``
+a ``untaint`` statement that declassifies. Taint then propagates through
+statement dataflow and — unlike the old per-symbol side table — through
+block parameters: the solver's ``edge_value`` hook marks a parameter
+tainted on an edge exactly when the rep the predecessor passes is tainted
+in that predecessor, and joins at merge points take the union (may-taint),
+iterating loops to fixpoint.
+
+*Sinks* are statements carrying the ``checktaint`` scope flag whose
+operation lets data escape the compiled unit: IO/call natives, residual
+``invoke``/``invoke_method`` calls, and dynamic branches recorded by the
+staged interpreter (control dependence leaks one bit). Each leak message
+includes the full source→sink IR path reconstructed from the fixpoint.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import phi_assigns_for_edge
+from repro.analysis.dataflow import ForwardAnalysis, solve
+from repro.lms.ir import Branch, Effect
+from repro.lms.rep import Sym
+
+
+class TaintAnalysis(ForwardAnalysis):
+    """May-taint: the set of tainted symbol names at each block boundary."""
+
+    def bottom(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, block, in_value):
+        tainted = set(in_value)
+        for stmt in block.stmts:
+            _step(stmt, tainted)
+        return frozenset(tainted)
+
+    def edge_value(self, block, succ_id, out_value):
+        extra = None
+        for param, rep in phi_assigns_for_edge(block.terminator, succ_id):
+            if isinstance(rep, Sym) and rep.name in out_value:
+                if extra is None:
+                    extra = set()
+                extra.add(param)
+        if extra is None:
+            return out_value
+        return out_value | frozenset(extra)
+
+
+def _step(stmt, tainted):
+    """Apply one statement to a mutable tainted-name set; returns the Sym
+    arg the taint came through (None if the result is untainted)."""
+    name = stmt.sym.name
+    if stmt.op == "taint":
+        tainted.add(name)
+        return None
+    if stmt.op == "untaint":
+        tainted.discard(name)
+        return None
+    for a in stmt.args:
+        if isinstance(a, Sym) and a.name in tainted:
+            tainted.add(name)
+            return a
+    return None
+
+
+def find_leaks(blocks, entry_id, branch_sinks=()):
+    """Run the taint fixpoint and report every tainted-data leak.
+
+    ``branch_sinks`` is the staged interpreter's list of ``(Branch,
+    description)`` pairs for dynamic branches emitted under a
+    ``checktaint`` scope (matched by terminator identity, so they survive
+    block fusion). Returns a list of human-readable leak strings.
+    """
+    if not any(s.op == "taint"
+               for b in blocks.values() for s in b.stmts):
+        return []
+    solution = solve(blocks, entry_id, TaintAnalysis())
+    origin = _build_origins(blocks, solution)
+    branch_map = {id(term): desc for term, desc in branch_sinks}
+
+    leaks = []
+    for bid in sorted(blocks):
+        block = blocks[bid]
+        tainted = set(solution[bid][0])
+        for stmt in block.stmts:
+            if stmt.flags.get("checktaint"):
+                sink = _sink_of(stmt)
+                if sink is not None:
+                    desc, value_args = sink
+                    for a in value_args:
+                        if isinstance(a, Sym) and a.name in tainted:
+                            leaks.append(
+                                "tainted value %s flows into %s%s [IR path:"
+                                " %s]" % (a.name, desc,
+                                          _provenance(stmt.flags),
+                                          taint_path(origin, a.name)))
+            _step(stmt, tainted)
+        term = block.terminator
+        desc = branch_map.get(id(term))
+        if desc is not None and isinstance(term, Branch) \
+                and isinstance(term.cond, Sym) and term.cond.name in tainted:
+            leaks.append("%s [IR path: %s]"
+                         % (desc, taint_path(origin, term.cond.name)))
+    return leaks
+
+
+def _sink_of(stmt):
+    """``(description, value args)`` if the statement is a taint sink."""
+    if stmt.op == "native" and stmt.effect in (Effect.IO, Effect.CALL):
+        nat = stmt.args[0]
+        return ("native %s.%s" % (nat.class_name, nat.name), stmt.args[1:])
+    if stmt.op == "invoke":
+        return ("call %s" % stmt.args[0], stmt.args[1:])
+    if stmt.op == "invoke_method":
+        method = getattr(stmt.args[0], "obj", None)
+        qname = getattr(method, "qualified_name", "?")
+        return ("call %s" % qname, stmt.args[2:])
+    return None
+
+
+def _provenance(flags):
+    src = flags.get("src")
+    return " in %s" % src[0] if src else ""
+
+
+def _build_origins(blocks, solution):
+    """``{tainted name: ('source',) | ('via', arg) | ('phi', rep)}`` —
+    one step back along the taint flow, for path reconstruction."""
+    origin = {}
+    for bid, block in blocks.items():
+        out = solution[bid][1]
+        for succ in set(block.terminator.successors()):
+            if succ not in blocks:
+                continue
+            for param, rep in phi_assigns_for_edge(block.terminator, succ):
+                if isinstance(rep, Sym) and rep.name in out:
+                    origin.setdefault(param, ("phi", rep.name))
+    for bid, block in blocks.items():
+        tainted = set(solution[bid][0])
+        for stmt in block.stmts:
+            via = _step(stmt, tainted)
+            if stmt.op == "taint":
+                origin.setdefault(stmt.sym.name, ("source",))
+            elif via is not None:
+                origin.setdefault(stmt.sym.name, ("via", via.name))
+    return origin
+
+
+def taint_path(origin, name):
+    """Render the taint flow that reaches ``name``, source first."""
+    chain = [name]
+    seen = {name}
+    reached_source = False
+    cur = name
+    while True:
+        info = origin.get(cur)
+        if info is None:
+            break
+        if info[0] == "source":
+            reached_source = True
+            break
+        cur = info[1]
+        if cur in seen:
+            break               # taint cycle through a loop header
+        seen.add(cur)
+        chain.append(cur)
+    chain.reverse()
+    prefix = "taint source " if reached_source else ""
+    return prefix + " -> ".join(chain)

@@ -37,6 +37,12 @@ class CompileOptions:
     check_noalloc: bool = False
     check_taint: bool = False
 
+    # Self-checking: run the IR well-formedness verifier after staging and
+    # again after fusion/DCE; run the bytecode verifier on the unit's entry
+    # method(s) before staging.
+    verify_ir: bool = False
+    verify_bytecode: bool = False
+
     # Delite accelerator-op fusion (paper 3.4); off for ablations.
     delite_fusion: bool = True
 

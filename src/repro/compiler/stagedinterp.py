@@ -183,7 +183,8 @@ class CompileResult:
     """Everything the JIT driver needs to finish a unit."""
 
     def __init__(self, blocks, entry_bid, entry_assigns, param_names, metas,
-                 statics, stable_deps, warnings, leaks, noalloc_sites):
+                 statics, stable_deps, warnings, taint_branch_sinks,
+                 noalloc_sites):
         self.blocks = blocks
         self.entry_bid = entry_bid
         self.entry_assigns = entry_assigns
@@ -192,7 +193,12 @@ class CompileResult:
         self.statics = statics
         self.stable_deps = stable_deps
         self.warnings = warnings
-        self.leaks = leaks
+        # (Branch terminator, description) pairs for dynamic branches
+        # emitted under a checktaint scope; the taint pass decides which
+        # actually branch on tainted data.
+        self.taint_branch_sinks = taint_branch_sinks
+        # Slowpath deopt sites recorded under a noalloc scope at staging
+        # (terminators are never DCE'd; scope info is gone later).
         self.noalloc_sites = noalloc_sites
 
 
@@ -234,7 +240,7 @@ class StagedInterpreter:
         self._single_entries = None
         self._pass_versions = None
         self._worklist = None
-        self._leaks = []
+        self._taint_branch_sinks = []
         self._noalloc_sites = []
         self._stmt_budget = 0
 
@@ -256,7 +262,7 @@ class StagedInterpreter:
             self._single_entries = {}
             self._pass_versions = {}
             self._worklist = deque()
-            self._leaks = []
+            self._taint_branch_sinks = []
             self._noalloc_sites = []
             self._stmt_budget = self.options.max_stmts
             self.stable_deps = []
@@ -277,7 +283,15 @@ class StagedInterpreter:
             prologue.terminator = Jump(entry_bid, entry_assigns)
 
             while self._worklist:
-                bid, state, params = self._worklist.popleft()
+                entry = self._worklist.popleft()
+                if entry[0] == "merge":
+                    # Build the merge state from the *current* lattice:
+                    # predecessors reached after enqueueing may have
+                    # upgraded slots (const -> param) in the meantime.
+                    bid, state, params = self._merge_entry(entry[1])
+                else:
+                    __, bid, state = entry
+                    params = None
                 self._generate_block(bid, state, params)
 
             self._tel_record("compile.phase", pass_num=pass_num + 1,
@@ -300,7 +314,7 @@ class StagedInterpreter:
             statics=self.statics,
             stable_deps=self.stable_deps,
             warnings=self.ctx.warnings,
-            leaks=self._leaks,
+            taint_branch_sinks=self._taint_branch_sinks,
             noalloc_sites=self._noalloc_sites,
         )
 
@@ -374,7 +388,10 @@ class StagedInterpreter:
 
     def emit_flags(self, state):
         scope = state.frame.scope
-        flags = {}
+        # Bytecode provenance for the IR analyses (checkNoAlloc reports,
+        # taint sinks): the method and bci this statement came from.
+        flags = {"src": (state.frame.method.qualified_name,
+                         state.frame.bci)}
         if scope.get("noalloc") or self.options.check_noalloc:
             flags["noalloc"] = True
         if scope.get("checktaint") or self.options.check_taint:
@@ -390,18 +407,9 @@ class StagedInterpreter:
         merged = self.emit_flags(state)
         if flags:
             merged.update(flags)
-        if merged.get("noalloc"):
-            allocating = (effect in (Effect.ALLOC, Effect.CALL)
-                          or op in ("new", "new_array", "array_lit")
-                          or (op == "native" and args[0].allocates))
-            if allocating:
-                self._noalloc_sites.append(
-                    "%s in %s" % (op, state.frame.method.qualified_name))
-            elif effect is Effect.GUARD:
-                # "the code must not contain any deoptimization points"
-                self._noalloc_sites.append(
-                    "deoptimization point in %s"
-                    % state.frame.method.qualified_name)
+        # checkNoAlloc violations are found by the post-optimization IR
+        # pass (repro.analysis.alloc), not at emit time: a statement DCE
+        # removes never reaches the generated code.
         if effect in (Effect.CALL, Effect.IO):
             # Residual calls may mutate any pre-existing object.
             self._forward.clear()
@@ -476,6 +484,11 @@ class StagedInterpreter:
             effect = Effect.ALLOC if nat.allocates else Effect.PURE
         elif nat.calls_guest:
             effect = Effect.CALL
+        elif nat.allocates:
+            # Non-pure only to block folding/CSE (each call is a fresh
+            # array); the sole effect is the allocation itself, so the
+            # result is dead-code removable and mutates nothing existing.
+            effect = Effect.ALLOC
         else:
             effect = Effect.IO
         for a in args:
@@ -483,22 +496,12 @@ class StagedInterpreter:
         if effect in (Effect.IO, Effect.CALL):
             for a in args:
                 self._note_static_write(state, a)
-            self._check_taint_sink(state, args,
-                                   "native %s.%s" % (nat.class_name, nat.name))
         sym = self.emit(state, "native", (nat,) + tuple(args), effect=effect,
                         absval=Unknown(ty=nat.result_ty,
                                        nonnull=nat.result_ty is not None))
         if nat.allocates:
             self._fresh_arrays.add(sym.name)
         return sym
-
-    def _check_taint_sink(self, state, args, what):
-        if not (state.frame.scope.get("checktaint")
-                or self.options.check_taint):
-            return
-        for a in args:
-            if self.ctx.is_tainted(a):
-                self._leaks.append("tainted value %r flows into %s" % (a, what))
 
     # ------------------------------------------------------------------
     # Scalar replacement / escapes
@@ -514,10 +517,6 @@ class StagedInterpreter:
             return
         entry.materialized = True
         flags = self.emit_flags(state)
-        if flags.get("noalloc"):
-            self._noalloc_sites.append(
-                "materialized allocation in %s"
-                % state.frame.method.qualified_name)
         block = self.ctx.current_block
         if entry.kind == "obj":
             from repro.lms.ir import Stmt
@@ -774,7 +773,12 @@ class StagedInterpreter:
             new_entry, changed = self._merge_slot(entry, rep, state)
             if changed:
                 info.lattice[i] = new_entry
-                if info.bid in self._generated:
+                # If the block was already generated — or is sitting on the
+                # worklist where an earlier predecessor computed its phi
+                # assigns against the old lattice — another pass is needed
+                # so all predecessors agree on the param list.
+                if (info.bid in self._generated
+                        or info.bid in self._enqueued):
                     self._pass_changed = True
             if new_entry[0] == "param":
                 assigns.append(("p%d_%d" % (info.bid, i), rep))
@@ -799,10 +803,17 @@ class StagedInterpreter:
 
     def _enqueue_single(self, info, state):
         self._enqueued.add(info.bid)
-        self._worklist.append((info.bid, state, None))
+        self._worklist.append(("single", info.bid, state))
 
     def _enqueue_merge(self, info):
+        # Only the MergeInfo goes on the worklist; the entry state is built
+        # from the *current* lattice at pop time (_merge_entry), so slot
+        # upgrades (const -> param) between enqueue and generation are
+        # never observed through a stale snapshot.
         self._enqueued.add(info.bid)
+        self._worklist.append(("merge", info))
+
+    def _merge_entry(self, info):
         state = info.shape.copy()
         state.heap = {}
         params = []
@@ -819,7 +830,7 @@ class StagedInterpreter:
             else:           # 'bot' — never observed; keep a null
                 reps.append(ConstRep(None))
         self._set_slots(state, reps)
-        self._worklist.append((info.bid, state, params))
+        return info.bid, state, params
 
     # ------------------------------------------------------------------
     # Block generation: the staged dispatch loop
@@ -914,12 +925,8 @@ class StagedInterpreter:
                             return
                     continue
                 # Dynamic branch: end the block.
-                if state.frame.scope.get("checktaint") \
-                        or self.options.check_taint:
-                    if self.ctx.is_tainted(cond):
-                        self._leaks.append(
-                            "branch on tainted value in %s"
-                            % frame.method.qualified_name)
+                checktaint = (state.frame.scope.get("checktaint")
+                              or self.options.check_taint)
                 s_taken = state.copy()
                 s_taken.frame.bci = ins.arg
                 s_fall = state
@@ -931,6 +938,14 @@ class StagedInterpreter:
                 else:
                     block.terminator = Branch(cond, f_bid, f_assigns,
                                               t_bid, t_assigns)
+                if checktaint:
+                    # Record the terminator as a taint sink; the IR-level
+                    # taint pass decides later whether the condition is
+                    # actually tainted (flow-sensitively, through phis).
+                    self._taint_branch_sinks.append(
+                        (block.terminator,
+                         "branch on tainted value in %s"
+                         % frame.method.qualified_name))
                 return
             elif op is Op.RET or op is Op.RET_VAL:
                 rep = pop() if op is Op.RET_VAL else ConstRep(None)
@@ -1057,9 +1072,12 @@ class StagedInterpreter:
                              method=state.frame.method.qualified_name,
                              bci=state.frame.bci, pass_num=self.pass_count)
             if self.emit_flags(state).get("noalloc"):
+                # Deopt terminators carry no flags, so slowpath sites are
+                # recorded at staging time and handed to the post-
+                # optimization checkNoAlloc pass via CompileResult.
                 self._noalloc_sites.append(
-                    "deoptimization point (slowpath) in %s"
-                    % state.frame.method.qualified_name)
+                    "deoptimization point (slowpath) in %s (bci %d)"
+                    % (state.frame.method.qualified_name, state.frame.bci))
             block.terminator = Deopt(meta_id, lives)
             return _END
         if isinstance(result, FastpathDirective):
@@ -1169,7 +1187,6 @@ class StagedInterpreter:
         for a in args:
             self.escape(state, a)
             self._note_static_write(state, a)
-        self._check_taint_sink(state, [recv] + args, "call %s" % name)
         sym = self.emit(state, "invoke", (name, recv) + tuple(args),
                         effect=Effect.CALL, absval=UNKNOWN)
         state.frame.push(sym)
@@ -1224,7 +1241,6 @@ class StagedInterpreter:
         for a in args:
             self.escape(state, a)
             self._note_static_write(state, a)
-        self._check_taint_sink(state, args, "call %s.%s" % (cls_name, name))
         sym = self.emit(state, "invoke_method",
                         (self.ctx.lift_static(method), ConstRep(None))
                         + tuple(args),

@@ -124,6 +124,16 @@ class MacroError(CompilationError):
     """A JIT macro raised or was misused."""
 
 
+class IRVerifyError(CompilationError):
+    """The IR well-formedness verifier found a malformed CFG (a compiler
+    bug surfaced early, rather than as broken generated code)."""
+
+    def __init__(self, message, errors=(), stage="staged"):
+        super().__init__(message)
+        self.errors = list(errors)
+        self.stage = stage
+
+
 class CompilationWarningList(ReproError):
     """Container surfaced when compiling with ``warnings_as_errors``."""
 

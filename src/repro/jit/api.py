@@ -22,13 +22,16 @@ from __future__ import annotations
 import dataclasses
 import time
 
+from repro.analysis.diagnostics import Diagnostics
+from repro.analysis.pipeline import AnalysisPipeline
+from repro.bytecode.verifier import verify_method
 from repro.compiler.compiled import CompiledFunction, ContinuationClosure
 from repro.compiler.deopt import reconstruct_frames
 from repro.compiler.options import CompileOptions
 from repro.compiler.stagedinterp import (AbstractFrame, MachineState,
                                          StagedInterpreter)
 from repro.errors import (CompilationError, CompilationWarningList,
-                          GuestTypeError, NoAllocError, TaintError)
+                          GuestTypeError)
 from repro.interp.interpreter import Interpreter
 from repro.lms.codegen_py import PyCodegen
 from repro.lms.rep import Sym
@@ -151,7 +154,7 @@ class Lancet:
         return scope
 
     def _compile_unit(self, method, receiver, options=None, name="unit",
-                      recompile=None, entry_frames=None):
+                      recompile=None, entry_frames=None, diagnostics=None):
         options = options or self.options
         tel = self.telemetry
         tel.record("compile.start", unit=name)
@@ -160,6 +163,15 @@ class Lancet:
         machine = StagedInterpreter(self.vm, self.macros, options,
                                     telemetry=tel)
         scope = self._initial_scope(options)
+
+        if options.verify_bytecode:
+            t0 = time.perf_counter()
+            if entry_frames is None:
+                verify_method(method)
+            else:
+                for cf in entry_frames:
+                    verify_method(cf.method)
+            report.phases["verify_bytecode"] = time.perf_counter() - t0
 
         if entry_frames is None:
             nparams = method.num_params
@@ -200,9 +212,11 @@ class Lancet:
         report.deopt_sites = machine.deopt_site_count
         report.unroll_clones = machine.unroll_clone_count
         report.macro_expansions = machine.macro_count
-        self._enforce_demands(result, options, name)
         compiled = self._emit(result, param_names, name, recompile,
-                              fuse=options.delite_fusion, report=report)
+                              fuse=options.delite_fusion, report=report,
+                              options=options, diagnostics=diagnostics)
+        if options.warnings_as_errors and result.warnings:
+            raise CompilationWarningList(result.warnings)
         report.warnings = len(compiled.warnings)
         compiled.report = report
         for obj, field in result.stable_deps:
@@ -229,21 +243,8 @@ class Lancet:
                    warnings=report.warnings)
         return compiled
 
-    def _enforce_demands(self, result, options, name):
-        if result.leaks:
-            raise TaintError(
-                "taint analysis of %s found %d leak(s)" % (
-                    name, len(result.leaks)), leaks=result.leaks)
-        if result.noalloc_sites:
-            raise NoAllocError(
-                "checkNoAlloc failed for %s: %d residual allocation/deopt "
-                "site(s)" % (name, len(result.noalloc_sites)),
-                sites=result.noalloc_sites)
-        if options.warnings_as_errors and result.warnings:
-            raise CompilationWarningList(result.warnings)
-
     def _emit(self, result, param_names, name, recompile, fuse=True,
-              report=None):
+              report=None, options=None, diagnostics=None):
         metas = result.metas
         vm = self.vm
         codegen = PyCodegen(vm, result.statics, metas)
@@ -266,9 +267,17 @@ class Lancet:
             fuse_delite(result.blocks, jit=self)
             if report is not None:
                 report.phases["fusion"] = time.perf_counter() - t0
+        # The analysis pipeline owns all IR-level optimization (block
+        # fusion, DCE, guard elimination) plus the verify/taint/alloc
+        # passes, so codegen runs with optimize=False.
+        pipeline = AnalysisPipeline(options or self.options,
+                                    telemetry=self.telemetry,
+                                    diagnostics=diagnostics)
+        pipeline.run(result, name, report=report)
         t0 = time.perf_counter()
         fn, source = codegen.generate(result.blocks, result.entry_bid,
-                                      param_names, callv, callm, mkcont, osr)
+                                      param_names, callv, callm, mkcont, osr,
+                                      optimize=False)
         if report is not None:
             report.phases["codegen"] = time.perf_counter() - t0
             report.blocks = len(result.blocks)
@@ -304,6 +313,41 @@ class Lancet:
             leaf = reconstruct_frames(meta, lives)
             return self.vm.run_frames(leaf)
         return compiled()
+
+    # -- JIT lint ----------------------------------------------------------------
+
+    def analyze(self, target, method_name=None, options=None):
+        """Run the IR analysis pipeline in *collect* mode ("JIT lint").
+
+        ``target`` is either a class name (then ``method_name`` names a
+        static method) or a guest closure ``Obj``. The unit is compiled
+        with ``verify_ir`` on; instead of raising, taint leaks, residual
+        allocations/deopt points, verifier errors, and compile warnings
+        become findings on the returned
+        :class:`~repro.analysis.diagnostics.Diagnostics`.
+        """
+        opts = dataclasses.replace(options or self.options,
+                                   verify_ir=True, unit_cache=False)
+        if isinstance(target, Obj):
+            method = target.cls.lookup_method("apply")
+            if method is None:
+                raise GuestTypeError("analyze(): %s has no apply method"
+                                     % target.cls.name)
+            receiver = target
+            name = "%s.apply" % target.cls.name
+        else:
+            method = self.vm.linker.resolve_static(target, method_name)
+            receiver = None
+            name = method.qualified_name
+        diag = Diagnostics(unit=name)
+        try:
+            self._compile_unit(method, receiver=receiver, options=opts,
+                               name=name, diagnostics=diag)
+        except CompilationError as exc:
+            # Collect-mode analyses never raise; anything that still does
+            # (freeze/unroll/inline failures, ...) becomes a finding too.
+            diag.add("error", "compile", str(exc))
+        return diag
 
     # -- aggregated statistics ---------------------------------------------------
 

@@ -23,8 +23,6 @@ from __future__ import annotations
 from repro.lms.ir import Branch, Deopt, Effect, Jump, OsrCompile, Return
 from repro.lms.rep import ConstRep, Rep, StaticRep, Sym
 
-_REMOVABLE = (Effect.PURE, Effect.ALLOC)
-
 
 def _no_delite(*args):
     raise RuntimeError("no Delite runtime attached to this VM")
@@ -46,26 +44,32 @@ def fuse_blocks(blocks, entry_id):
 
     Chains of continuation blocks (produced by splitting at join points
     that turned out to have one live edge, and by loop unrolling) collapse
-    into straight-line code, removing label-dispatch overhead.
+    into straight-line code, removing label-dispatch overhead. A single
+    pass over the blocks: fusing never changes any surviving block's
+    in-degree (the absorbed block's outgoing edges move wholesale), and
+    each fusion site keeps absorbing its whole chain before moving on, so
+    the work is linear in the total statement count.
     """
     from repro.lms.ir import Stmt
 
-    changed = True
-    while changed:
-        changed = False
-        in_edges = {bid: 0 for bid in blocks}
-        for block in blocks.values():
-            for succ in block.terminator.successors():
-                in_edges[succ] += 1
-        for block in list(blocks.values()):
+    in_edges = {bid: 0 for bid in blocks}
+    for block in blocks.values():
+        for succ in block.terminator.successors():
+            # Tolerate dangling edges: collect-mode analysis keeps going
+            # after the verifier has already reported them.
+            in_edges[succ] = in_edges.get(succ, 0) + 1
+    for bid in list(blocks):
+        block = blocks.get(bid)
+        if block is None:
+            continue            # already absorbed into a predecessor
+        while True:
             term = block.terminator
             if not isinstance(term, Jump):
-                continue
+                break
             target = term.target
-            if target == entry_id or target == block.block_id:
-                continue
-            if in_edges.get(target) != 1 or target not in blocks:
-                continue
+            if target == entry_id or target == block.block_id \
+                    or target not in blocks or in_edges.get(target) != 1:
+                break
             tblock = blocks[target]
             for name, rep in term.phi_assigns:
                 block.stmts.append(Stmt(Sym(name), "id", (rep,),
@@ -73,65 +77,18 @@ def fuse_blocks(blocks, entry_id):
             block.stmts.extend(tblock.stmts)
             block.terminator = tblock.terminator
             del blocks[target]
-            changed = True
-            break
     return blocks
 
 
-def eliminate_dead(blocks):
-    """Global dead-code elimination over the CFG (pure/alloc defs only)."""
-    uses = {}
+def eliminate_dead(blocks, entry_id=None):
+    """Global dead-code elimination over the CFG (pure/alloc defs only).
 
-    def use(rep):
-        if isinstance(rep, Sym):
-            uses[rep.name] = uses.get(rep.name, 0) + 1
-
-    def scan_term(term):
-        if isinstance(term, Jump):
-            for __, rep in term.phi_assigns:
-                use(rep)
-        elif isinstance(term, Branch):
-            use(term.cond)
-            for __, rep in term.true_assigns:
-                use(rep)
-            for __, rep in term.false_assigns:
-                use(rep)
-        elif isinstance(term, Return):
-            use(term.value)
-        elif isinstance(term, (Deopt, OsrCompile)):
-            for rep in term.lives:
-                use(rep)
-
-    for block in blocks.values():
-        scan_term(block.terminator)
-        for stmt in block.stmts:
-            if stmt.effect not in _REMOVABLE:
-                for a in stmt.args:
-                    use(a)
-
-    # Iterate: a pure stmt is live iff its sym is used; its uses then count.
-    changed = True
-    live = {}
-    for block in blocks.values():
-        for stmt in block.stmts:
-            live[stmt.sym.name] = stmt.effect not in _REMOVABLE
-    while changed:
-        changed = False
-        for block in blocks.values():
-            for stmt in block.stmts:
-                name = stmt.sym.name
-                if not live[name] and uses.get(name, 0) > 0:
-                    live[name] = True
-                    changed = True
-                    for a in stmt.args:
-                        use(a)
-
-    removed = 0
-    for block in blocks.values():
-        kept = [s for s in block.stmts if live[s.sym.name]]
-        removed += len(block.stmts) - len(kept)
-        block.stmts = kept
-    return removed
+    Thin wrapper over the liveness-based pass in
+    :mod:`repro.analysis.dce`; kept here because standalone codegen users
+    (and the tests) reach DCE through this module.
+    """
+    from repro.analysis.dce import eliminate_dead as _eliminate_dead
+    return _eliminate_dead(blocks, entry_id)
 
 
 class PyCodegen:
@@ -178,7 +135,8 @@ class PyCodegen:
         r = self.rep
         target = stmt.sym.name
 
-        if op == "id":
+        if op in ("id", "taint", "untaint"):
+            # taint/untaint are analysis-only markers: identity at runtime.
             return "%s = %s" % (target, r(args[0]))
         if op == "throw":
             return "raise _GuestThrow(%s)" % r(args[0])
@@ -308,10 +266,15 @@ class PyCodegen:
     # -- whole function ----------------------------------------------------------------
 
     def generate(self, blocks, entry_id, param_names, callv, callm, mkcont,
-                 osr):
-        """Render, compile, and return ``(function, source)``."""
-        fuse_blocks(blocks, entry_id)
-        eliminate_dead(blocks)
+                 osr, optimize=True):
+        """Render, compile, and return ``(function, source)``.
+
+        ``optimize=False`` skips fusion/DCE — the JIT pipeline has already
+        run them (plus the IR analyses) by the time it calls us.
+        """
+        if optimize:
+            fuse_blocks(blocks, entry_id)
+            eliminate_dead(blocks, entry_id)
         lines = ["def %s(%s):" % (self.fn_name, ", ".join(param_names))]
         order = sorted(blocks)
         if len(order) == 1 and blocks[entry_id].block_id == entry_id:

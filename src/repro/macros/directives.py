@@ -67,14 +67,18 @@ def in_scope(ctx, recv, args):
 # -- taint tracking (paper 3.3: JIT taint analysis) ---------------------------
 
 def taint(ctx, recv, args):
-    """Mark a staged value as tainted user input."""
-    sym = ctx.emit("id", (args[0],), absval=ctx.eval_abs(args[0]))
+    """Mark a staged value as tainted user input.
+
+    Emits a first-class ``taint`` op (identity in codegen) so the
+    flow-sensitive IR taint pass can see sources after optimization.
+    """
+    sym = ctx.emit("taint", (args[0],), absval=ctx.eval_abs(args[0]))
     ctx.ctx.set_taint(sym, True)
     return sym
 
 
 def untaint(ctx, recv, args):
-    """Declassify a staged value."""
-    sym = ctx.emit("id", (args[0],), absval=ctx.eval_abs(args[0]))
+    """Declassify a staged value (identity ``untaint`` op in the IR)."""
+    sym = ctx.emit("untaint", (args[0],), absval=ctx.eval_abs(args[0]))
     ctx.ctx.set_taint(sym, False)
     return sym

@@ -30,6 +30,8 @@ Event kinds emitted by the built-in instrumentation::
     cache.hit / cache.miss / cache.evict / cache.flush
     macro.expand
     delite.launch
+    analysis.report          (per-unit IR analysis summary)
+    analysis.verify_fail     (IR verifier found a malformed CFG)
 """
 
 from __future__ import annotations

@@ -157,6 +157,65 @@ class TestVerifier:
         with pytest.raises(VerifyError, match="empty"):
             verify_method(m)
 
+    def test_throw_terminated_method_ok(self):
+        # THROW is a valid last instruction: execution cannot fall through.
+        m = simple_method([Instr(Op.CONST, "boom"), Instr(Op.THROW)])
+        assert verify_method(m)
+
+    def test_throw_with_values_left_on_stack(self):
+        m = simple_method([Instr(Op.CONST, 1), Instr(Op.CONST, "boom"),
+                           Instr(Op.THROW)])
+        with pytest.raises(VerifyError, match="left on stack"):
+            verify_method(m)
+
+    def test_throw_then_unreachable_tail_ok(self):
+        # A RET after an always-throwing prefix is unreachable but legal.
+        m = simple_method([Instr(Op.CONST, "boom"), Instr(Op.THROW),
+                           Instr(Op.RET)])
+        assert verify_method(m)
+
+    def test_unreachable_code_not_traced(self):
+        # The POP at index 1 would underflow, but nothing jumps to it:
+        # the verifier only checks reachable instructions (like the JVM).
+        m = simple_method([Instr(Op.JUMP, 2), Instr(Op.POP), Instr(Op.RET)])
+        assert verify_method(m)
+
+    def test_unreachable_after_conditional_still_traced(self):
+        # Both arms of a conditional are reachable; the bad one is caught.
+        m = simple_method([
+            Instr(Op.LOAD, 0),
+            Instr(Op.JIF_FALSE, 3),
+            Instr(Op.RET),
+            Instr(Op.POP),           # reachable via the branch: underflow
+            Instr(Op.RET),
+        ], num_params=1)
+        with pytest.raises(VerifyError, match="underflow"):
+            verify_method(m)
+
+
+class TestVerifyBytecodeOption:
+    """CompileOptions.verify_bytecode runs the verifier before staging."""
+
+    def _jit(self, source, **opts):
+        from repro import CompileOptions
+        from tests.conftest import load
+        return load(source, options=CompileOptions(**opts))
+
+    def test_clean_method_compiles(self):
+        j = self._jit("def f(x) { return x + 1; }", verify_bytecode=True)
+        assert j.compile_function("Main", "f")(2) == 3
+
+    def test_corrupted_method_rejected_before_staging(self):
+        j = self._jit("def f(x) { return x + 1; }", verify_bytecode=True)
+        method = j.vm.linker.resolve_static("Main", "f")
+        method.code.append(Instr(Op.CONST, 0))   # now falls off the end
+        with pytest.raises(VerifyError, match="fall off"):
+            j.compile_function("Main", "f")
+
+    def test_off_by_default(self):
+        from repro import CompileOptions
+        assert CompileOptions().verify_bytecode is False
+
 
 class TestAssembler:
     SOURCE = '''

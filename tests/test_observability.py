@@ -230,6 +230,38 @@ class TestTraceOfCompilation:
         assert end.data["seconds"] > 0
         assert end.data["blocks"] >= 1
 
+    def test_analysis_report_event(self):
+        j = load(SRC)
+        j.telemetry.enable_trace()
+        j.compile_function("Main", "work")
+        reports = j.telemetry.events("analysis.report")
+        assert len(reports) == 1
+        data = reports[0].data
+        assert data["unit"] == "Main.work"
+        assert data["blocks"] >= 1
+        assert data["leaks"] == 0 and data["noalloc_sites"] == 0
+        assert "removed_stmts" in data and "removed_guards" in data
+
+    def test_analysis_verify_fail_event(self):
+        from repro.analysis import AnalysisPipeline, Diagnostics
+        from repro.compiler.stagedinterp import CompileResult
+        from repro.lms.ir import Block, Jump
+
+        bad = Block(0)
+        bad.terminator = Jump(99)            # corrupted CFG
+        result = CompileResult(
+            blocks={0: bad}, entry_bid=0, entry_assigns=[], param_names=[],
+            metas=[], statics=None, stable_deps=[], warnings=[],
+            taint_branch_sinks=[], noalloc_sites=[])
+        tel = Telemetry().enable_trace()
+        diag = Diagnostics(unit="bad")
+        AnalysisPipeline(CompileOptions(verify_ir=True), telemetry=tel,
+                         diagnostics=diag).run(result, "bad")
+        fails = tel.events("analysis.verify_fail")
+        assert fails and fails[0].data["unit"] == "bad"
+        assert any("missing block" in e for e in fails[0].data["errors"])
+        assert any(d.kind == "verify" for d in diag.errors())
+
     def test_trace_jsonl_valid(self, tmp_path):
         j = load(SRC)
         j.telemetry.enable_trace()
