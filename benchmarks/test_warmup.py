@@ -1,0 +1,148 @@
+"""Warmup benchmark: Tier-1 quick compiles vs Tier-2 optimizing compiles.
+
+Time-to-first-compiled-call is the Tier-1 pitch: shallow specialization,
+no inlining, minimal pass list. These tests assert, on the Table 2
+kernels (k-means, logreg), that the Tier-1 compile is strictly faster
+than the Tier-2 compile, and that steady state pays nothing for having
+warmed up through Tier 1 (a promoted unit is bit-identical to a direct
+Tier-2 compile).
+
+Compile times are read from the per-tier telemetry timings
+(``compile.tier<N>.total``) rather than wall-clocking host glue, and the
+comparison is best-of-N on fresh VMs to keep CI noise out.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Lancet
+from repro.apps import load_app
+from repro.optiml import load_optiml
+from repro.pipeline import TIER1, TIER2, tier_options
+
+REPEATS = 3
+
+
+def _fresh_kmeans():
+    from repro.optiml.reference import kmeans_data
+    n, k, iters = 4000, 4, 2
+    px, py = kmeans_data(n, k)
+    jit = Lancet()
+    load_optiml(jit)
+    load_app(jit, "kmeans", module="Kmeans")
+    jit.delite.register_data(px)
+    jit.delite.register_data(py)
+    return jit, "Kmeans", [px, py, k, iters]
+
+
+def _fresh_logreg():
+    from repro.optiml.reference import logreg_data
+    n, d, iters, alpha = 4000, 8, 2, 0.05
+    cols, y = logreg_data(n, d)
+    jit = Lancet()
+    load_optiml(jit)
+    load_app(jit, "logreg", module="Logreg")
+    for c in cols:
+        jit.delite.register_data(c)
+    jit.delite.register_data(y)
+    return jit, "Logreg", [cols, y, iters, alpha]
+
+
+def _compile_seconds(fresh, tier, repeats=REPEATS):
+    """Best-of-N compile time (telemetry, compile phases only) of the
+    kernel's ``makeCompiled`` at ``tier``; also returns the last compiled
+    function and its result for differential checks."""
+    best = float("inf")
+    cf = None
+    for __ in range(repeats):
+        jit, module, args = fresh()
+        jit.options = tier_options(jit.options, tier)
+        cf = jit.vm.call(module, "makeCompiled", args)
+        timing = jit.telemetry.metrics.timing("compile.tier%d.total" % tier)
+        best = min(best, timing["total"])
+    return best, cf
+
+
+class TestWarmupCompileTime:
+    def test_tier1_compiles_kmeans_strictly_faster(self):
+        t1, cf1 = _compile_seconds(_fresh_kmeans, TIER1)
+        t2, cf2 = _compile_seconds(_fresh_kmeans, TIER2)
+        assert t1 < t2, ("Tier-1 kmeans compile (%.4fs) not faster than "
+                         "Tier 2 (%.4fs)" % (t1, t2))
+        # Both tiers must agree on the kernel's output (approx: Tier 1
+        # skips Delite fusion, which reassociates float reductions).
+        r1, r2 = cf1(0), cf2(0)
+        assert len(r1) == len(r2)
+        for row1, row2 in zip(r1, r2):
+            assert row1 == pytest.approx(row2)
+
+    def test_tier1_compiles_logreg_strictly_faster(self):
+        t1, cf1 = _compile_seconds(_fresh_logreg, TIER1)
+        t2, cf2 = _compile_seconds(_fresh_logreg, TIER2)
+        assert t1 < t2, ("Tier-1 logreg compile (%.4fs) not faster than "
+                         "Tier 2 (%.4fs)" % (t1, t2))
+        assert cf1(0) == pytest.approx(cf2(0))
+
+
+class TestSteadyState:
+    SRC = '''
+        def kernel(x, y) {
+          var acc = 0;
+          var i = 0;
+          while (i < x) { acc = acc + y * i + (i % 7); i = i + 1; }
+          return acc;
+        }
+    '''
+
+    def _steady_seconds(self, compiled, args, iters=200):
+        compiled(*args)   # shake off first-call effects
+        t0 = time.perf_counter()
+        for __ in range(iters):
+            compiled(*args)
+        return time.perf_counter() - t0
+
+    def test_promoted_unit_is_identical_to_direct_tier2(self):
+        """Structural no-slower-than-single-tier guarantee: warming up
+        through Tier 1 converges on byte-identical Tier-2 code."""
+        j = Lancet()
+        j.load(self.SRC)
+        j.options.tier1_threshold = 1
+        j.options.tier2_threshold = 2
+        tf = j.compile_tiered("Main", "kernel")
+        for __ in range(3):
+            tf(50, 3)
+        assert tf.tier == TIER2
+
+        direct_jit = Lancet()
+        direct_jit.load(self.SRC)
+        direct = direct_jit.compile_function("Main", "kernel")
+        assert tf.compiled.source == direct.source
+
+    def test_steady_state_throughput_not_slower(self):
+        """Timed belt-and-braces on top of the source-equality check;
+        generous slack (2x) so scheduler noise cannot fail CI."""
+        j = Lancet()
+        j.load(self.SRC)
+        j.options.tier1_threshold = 1
+        j.options.tier2_threshold = 2
+        tf = j.compile_tiered("Main", "kernel")
+        for __ in range(3):
+            tf(50, 3)
+        assert tf.tier == TIER2
+
+        direct_jit = Lancet()
+        direct_jit.load(self.SRC)
+        direct = direct_jit.compile_function("Main", "kernel")
+
+        args = (200, 3)
+        assert tf.compiled(*args) == direct(*args)
+        t_tiered = min(self._steady_seconds(tf.compiled, args)
+                       for __ in range(REPEATS))
+        t_direct = min(self._steady_seconds(direct, args)
+                       for __ in range(REPEATS))
+        assert t_tiered <= t_direct * 2.0, (
+            "steady state after tiered warmup (%.4fs) slower than "
+            "single-tier (%.4fs)" % (t_tiered, t_direct))

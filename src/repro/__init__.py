@@ -27,12 +27,15 @@ from repro.interp.interpreter import Interpreter
 from repro.jit.api import Lancet
 from repro.jit.cache import CodeCache, make_hot, make_jit
 from repro.observability import CompileReport, Telemetry
+from repro.pipeline import (PassManager, TieredFunction, TierPolicy,
+                            tier_options)
 
 __version__ = "0.1.0"
 
 __all__ = [
     "Lancet", "Interpreter", "CompileOptions", "CompiledFunction",
     "CodeCache", "make_jit", "make_hot",
+    "PassManager", "TieredFunction", "TierPolicy", "tier_options",
     "Telemetry", "CompileReport",
     "ReproError", "GuestError", "CompilationError", "FreezeError",
     "MaterializeError", "UnrollError", "NoAllocError", "TaintError",

@@ -8,7 +8,10 @@
 ``run`` and ``jit`` accept ``--jit-stats`` (print a JSON stats summary to
 stderr after execution) and ``--trace-jit out.jsonl`` (record JIT telemetry
 events and export them as JSONL). ``jit`` also accepts ``--analyze``
-(print the JIT lint report — collect-mode IR analysis — to stderr).
+(print the JIT lint report — collect-mode IR analysis — to stderr),
+``--tier`` (fixed Tier 1/2 compile, or ``--tier 0`` to enter through the
+tier ladder), ``--hot-threshold`` and ``--repeat`` (drive promotions);
+the ``--jit-stats`` summary includes the per-tier breakdown.
 
 Arguments are parsed as Python literals (42, 3.5, "text", True).
 """
@@ -77,16 +80,39 @@ def cmd_run(args):
 def cmd_jit(args):
     jit = _load(args.program, args.module)
     jit.vm._output_mode = "stdout"
+    if args.hot_threshold is not None:
+        # In-place so the per-VM TierPolicy (which reads jit.options)
+        # sees the new thresholds too.
+        jit.options.tier1_threshold = args.hot_threshold
+        jit.options.tier2_threshold = max(args.hot_threshold + 1,
+                                          args.hot_threshold * 4)
     _telemetry_begin(jit, args)
     if args.analyze:
         print(jit.analyze(args.module, args.fn).render(), file=sys.stderr)
-    compiled = jit.compile_function(args.module, args.fn)
-    result = compiled(*[_parse_arg(a) for a in args.args])
+    if args.tier == 0:
+        # Tier 0 entry: start interpreted with counters and let the tier
+        # ladder promote (use --repeat to cross the thresholds).
+        compiled = jit.compile_tiered(args.module, args.fn)
+    elif args.tier in (1, 2):
+        from repro.pipeline import tier_options
+        compiled = jit.compile_function(
+            args.module, args.fn,
+            options=tier_options(jit.options, args.tier))
+    else:
+        compiled = jit.compile_function(args.module, args.fn)
+    call_args = [_parse_arg(a) for a in args.args]
+    result = None
+    for _ in range(max(1, args.repeat)):
+        result = compiled(*call_args)
     if result is not None:
         print(result)
     if args.show_code:
+        source = getattr(compiled, "source", None)
+        if source is None:   # a TieredFunction still in Tier 0
+            source = getattr(getattr(compiled, "compiled", None),
+                             "source", "# still interpreted (tier 0)")
         print("\n--- generated code ---", file=sys.stderr)
-        print(compiled.source, file=sys.stderr)
+        print(source, file=sys.stderr)
     return _telemetry_end(jit, args)
 
 
@@ -131,6 +157,17 @@ def main(argv=None):
     p.add_argument("fn")
     p.add_argument("args", nargs="*")
     p.add_argument("--module", default="Main")
+    p.add_argument("--tier", type=int, choices=(0, 1, 2), default=None,
+                   help="compile at a fixed tier (1 = quick, 2 = full), "
+                        "or 0 to start interpreted and promote through "
+                        "the tier ladder")
+    p.add_argument("--hot-threshold", type=int, default=None,
+                   metavar="N",
+                   help="invocations before Tier-1 promotion (Tier-2 "
+                        "threshold scales to 4x)")
+    p.add_argument("--repeat", type=int, default=1, metavar="K",
+                   help="call the function K times (lets tiered runs "
+                        "cross promotion thresholds)")
     p.add_argument("--show-code", action="store_true")
     p.add_argument("--analyze", action="store_true",
                    help="print the JIT lint report (collect-mode IR "

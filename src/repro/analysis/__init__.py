@@ -5,13 +5,18 @@ A generic forward/backward worklist dataflow solver
 pipeline runs between staging and code generation:
 
 * :mod:`repro.analysis.verify` — IR well-formedness verifier;
-* :mod:`repro.analysis.liveness` / :mod:`repro.analysis.dce` — backward
-  liveness, effect-aware DCE, redundant-guard elimination;
+* :mod:`repro.analysis.liveness` / :mod:`repro.analysis.dce` — liveness
+  (both staged-IR symbols and bytecode local slots), effect-aware DCE,
+  redundant-guard elimination;
+* :mod:`repro.analysis.fuse` — single-predecessor block fusion;
 * :mod:`repro.analysis.taint` — flow-sensitive taint propagation with
   source→sink path reporting;
 * :mod:`repro.analysis.alloc` — post-optimization ``checkNoAlloc``;
-* :mod:`repro.analysis.diagnostics` / :mod:`repro.analysis.pipeline` —
-  the "JIT lint" layer and the orchestrating pipeline.
+* :mod:`repro.analysis.diagnostics` — the "JIT lint" layer.
+
+Pass sequencing lives in :class:`repro.pipeline.passes.PassManager`
+(:mod:`repro.analysis.pipeline` keeps the old ``AnalysisPipeline`` name
+as a shim).
 """
 
 from __future__ import annotations
@@ -20,7 +25,9 @@ from repro.analysis.alloc import check_noalloc
 from repro.analysis.dataflow import BackwardAnalysis, ForwardAnalysis, solve
 from repro.analysis.dce import eliminate_dead, eliminate_redundant_guards
 from repro.analysis.diagnostics import Diagnostic, Diagnostics
-from repro.analysis.liveness import LivenessAnalysis, live_sets
+from repro.analysis.fuse import fuse_blocks
+from repro.analysis.liveness import (LivenessAnalysis, live_at,
+                                     live_in_sets, live_sets)
 from repro.analysis.pipeline import AnalysisPipeline
 from repro.analysis.taint import TaintAnalysis, find_leaks, taint_path
 from repro.analysis.verify import verify_ir
@@ -29,5 +36,6 @@ __all__ = [
     "AnalysisPipeline", "BackwardAnalysis", "Diagnostic", "Diagnostics",
     "ForwardAnalysis", "LivenessAnalysis", "TaintAnalysis", "check_noalloc",
     "eliminate_dead", "eliminate_redundant_guards", "find_leaks",
-    "live_sets", "solve", "taint_path", "verify_ir",
+    "fuse_blocks", "live_at", "live_in_sets", "live_sets", "solve",
+    "taint_path", "verify_ir",
 ]

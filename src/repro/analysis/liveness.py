@@ -1,17 +1,22 @@
-"""Backward liveness over staged-IR symbol names.
+"""Liveness — the single home for both liveness flavours.
 
-A symbol is live at a point if some path from that point reads it — in a
-statement argument, a terminator (branch condition, phi-assign value,
-return value, deopt live set), before being redefined. Since the IR is in
-block-argument SSA form (every name has exactly one definition), liveness
-here mainly answers "is this definition ever needed?", which is what the
-effect-aware DCE in :mod:`repro.analysis.dce` consumes.
+Two consumers, one module (they used to live apart, in ``repro.compiler``
+and here, and drifted):
+
+* **IR-symbol liveness** (:class:`LivenessAnalysis` / :func:`live_sets`):
+  backward may-analysis over staged-IR symbol names, consumed by the
+  effect-aware DCE pass the PassManager runs.
+* **Bytecode local-slot liveness** (:func:`live_in_sets` / :func:`live_at`):
+  per-bci live local slots of a guest method, consumed by the staged
+  interpreter to null out dead slots at block boundaries and in deopt
+  metadata (allocation sinking + merge precision).
 """
 
 from __future__ import annotations
 
 from repro.analysis.cfg import stmt_uses, term_uses
 from repro.analysis.dataflow import BackwardAnalysis, solve
+from repro.bytecode.opcodes import Op
 from repro.lms.ir import Effect
 
 #: Effects whose statements may be deleted when their result is unused.
@@ -52,3 +57,56 @@ class LivenessAnalysis(BackwardAnalysis):
 def live_sets(blocks, entry_id):
     """``{block_id: (live_in, live_out)}`` of symbol names."""
     return solve(blocks, entry_id, LivenessAnalysis())
+
+
+# -- bytecode local-slot liveness ---------------------------------------------
+
+def live_in_sets(method):
+    """Return a list of frozensets: the local slots live at each bci."""
+    cached = getattr(method, "_live_in_sets", None)
+    if cached is not None:
+        return cached
+
+    code = method.code
+    n = len(code)
+    succs = []
+    for i, ins in enumerate(code):
+        if ins.op is Op.JUMP:
+            succs.append((ins.arg,))
+        elif ins.op in (Op.JIF_TRUE, Op.JIF_FALSE):
+            succs.append((i + 1, ins.arg))
+        elif ins.op in (Op.RET, Op.RET_VAL, Op.THROW):
+            succs.append(())
+        else:
+            succs.append((i + 1,))
+
+    live = [frozenset()] * n
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n - 1, -1, -1):
+            ins = code[i]
+            out = frozenset()
+            for s in succs[i]:
+                if s < n:
+                    out = out | live[s]
+            if ins.op is Op.LOAD:
+                new = out | {ins.arg}
+            elif ins.op is Op.STORE:
+                new = out - {ins.arg}
+            else:
+                new = out
+            if new != live[i]:
+                live[i] = new
+                changed = True
+
+    method._live_in_sets = live
+    return live
+
+
+def live_at(method, bci):
+    """Slots live at ``bci`` (conservatively all slots past the end)."""
+    sets = live_in_sets(method)
+    if bci >= len(sets):
+        return frozenset(range(method.num_locals))
+    return sets[bci]

@@ -1,139 +1,19 @@
-"""The IR analysis pipeline run between staging and code generation.
+"""Back-compat shim: the analysis pipeline is now the PassManager.
 
-Order matters and encodes the semantics this package exists for:
-
-1. **verify (staged)** — catch malformed IR where it was produced;
-2. **optimize** — block fusion, effect-aware DCE, redundant-guard
-   elimination (moved here from the code generator so later passes see
-   the code that will actually be emitted);
-3. **verify (optimized)** — the optimizer must preserve well-formedness;
-4. **taint** — flow-sensitive leak detection over the optimized CFG;
-5. **alloc** — post-DCE ``checkNoAlloc``: dead allocations are gone by
-   now, so only allocations surviving into generated code are reported.
-
-In *enforce* mode (normal compilation) violations raise
-:class:`IRVerifyError` / :class:`TaintError` / :class:`NoAllocError`; in
-*collect* mode (``Lancet.analyze``) they become structured findings on a
-:class:`~repro.analysis.diagnostics.Diagnostics` and compilation
-continues. Phase wall-times land in ``CompileReport.phases`` under
-``analysis.*`` keys, surfacing in ``Lancet.stats()['phase_timings']``;
-an ``analysis.report`` event (and ``analysis.verify_fail`` on verifier
-errors) goes through the observability event trace.
+The ad-hoc verify/optimize/taint/alloc sequencing that used to live here
+became the declarative per-tier pass list in
+:mod:`repro.pipeline.passes`. ``AnalysisPipeline`` remains importable
+(same constructor, same ``run(result, name, report=...)`` contract,
+always the full Tier-2 list) for existing callers and tests.
 """
 
 from __future__ import annotations
 
-import time
-
-from repro.analysis.alloc import check_noalloc
-from repro.analysis.dce import eliminate_dead, eliminate_redundant_guards
-from repro.analysis.taint import find_leaks
-from repro.analysis.verify import verify_ir
-from repro.errors import IRVerifyError, NoAllocError, TaintError
+from repro.pipeline.passes import PassManager
 
 
-class AnalysisPipeline:
-    """Runs the verify/optimize/taint/alloc passes over a CompileResult.
+class AnalysisPipeline(PassManager):
+    """The full (Tier-2) pass list, regardless of ``options.tier``."""
 
-    ``diagnostics`` switches the pipeline into collect mode: findings are
-    appended there instead of raising.
-    """
-
-    def __init__(self, options, telemetry=None, diagnostics=None):
-        self.options = options
-        self.telemetry = telemetry
-        self.diagnostics = diagnostics
-
-    # -- helpers ---------------------------------------------------------------
-
-    def _record_phase(self, report, phase, t0):
-        if report is not None:
-            report.phases[phase] = report.phases.get(phase, 0.0) \
-                + (time.perf_counter() - t0)
-
-    def _tel_record(self, kind, /, **data):
-        if self.telemetry is not None:
-            self.telemetry.record(kind, **data)
-
-    def _verify(self, result, name, stage, report):
-        t0 = time.perf_counter()
-        errors = verify_ir(result.blocks, result.entry_bid,
-                           params=result.param_names, metas=result.metas,
-                           stage=stage, collect=True)
-        self._record_phase(report, "analysis.verify", t0)
-        if not errors:
-            return
-        self._tel_record("analysis.verify_fail", unit=name, stage=stage,
-                         errors=list(errors))
-        if self.diagnostics is not None:
-            self.diagnostics.extend("error", "verify",
-                                    ["%s IR: %s" % (stage, e)
-                                     for e in errors])
-            return
-        raise IRVerifyError(
-            "IR verification failed for %s (%s IR): %s"
-            % (name, stage, "; ".join(errors)), errors=errors, stage=stage)
-
-    # -- the pipeline ----------------------------------------------------------
-
-    def run(self, result, name, report=None):
-        """Verify, optimize, and analyze ``result`` in place; returns a
-        summary dict (also emitted as an ``analysis.report`` event)."""
-        from repro.lms.codegen_py import fuse_blocks
-        opts = self.options
-        diag = self.diagnostics
-        verify = opts.verify_ir or diag is not None
-
-        if verify:
-            self._verify(result, name, "staged", report)
-
-        t0 = time.perf_counter()
-        fuse_blocks(result.blocks, result.entry_bid)
-        removed_stmts = eliminate_dead(result.blocks, result.entry_bid)
-        removed_guards = eliminate_redundant_guards(result.blocks)
-        self._record_phase(report, "analysis.optimize", t0)
-
-        if verify:
-            self._verify(result, name, "optimized", report)
-
-        t0 = time.perf_counter()
-        leaks = find_leaks(result.blocks, result.entry_bid,
-                           result.taint_branch_sinks)
-        self._record_phase(report, "analysis.taint", t0)
-
-        t0 = time.perf_counter()
-        sites = check_noalloc(result.blocks, result.noalloc_sites)
-        self._record_phase(report, "analysis.alloc", t0)
-
-        summary = {
-            "removed_stmts": removed_stmts,
-            "removed_guards": removed_guards,
-            "leaks": len(leaks),
-            "noalloc_sites": len(sites),
-            "blocks": len(result.blocks),
-            "warnings": len(result.warnings),
-        }
-        self._tel_record("analysis.report", unit=name, **summary)
-
-        if diag is not None:
-            diag.extend("error", "taint", leaks)
-            diag.extend("error", "noalloc", sites)
-            diag.extend("warning", "compile",
-                        [str(w) for w in result.warnings])
-            diag.add("info", "dce", "%d dead statement(s) removed"
-                     % removed_stmts)
-            if removed_guards:
-                diag.add("info", "guards", "%d redundant guard(s) removed"
-                         % removed_guards)
-            return summary
-
-        if leaks:
-            raise TaintError(
-                "taint analysis of %s found %d leak(s): %s"
-                % (name, len(leaks), "; ".join(leaks)), leaks=leaks)
-        if sites:
-            raise NoAllocError(
-                "checkNoAlloc failed for %s: %d residual allocation/deopt "
-                "site(s): %s" % (name, len(sites), "; ".join(sites)),
-                sites=sites)
-        return summary
+    def run(self, result, name, tier=None, report=None):
+        return super().run(result, name, tier=2, report=report)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from repro.errors import CompilationError
 from repro.lms.ir import Branch, Jump, Return
 from repro.lms.rep import ConstRep, StaticRep, Sym
+from repro.pipeline.backend import Backend, register_backend
 
 _PRELUDE = """\
 function __div(a, b) { var q = a / b; return (Number.isInteger(a) && Number.isInteger(b)) ? Math.trunc(q) : q; }
@@ -50,16 +51,29 @@ _NATIVES = {
 }
 
 
+@register_backend
+class JSBackend(Backend):
+    """Backend-protocol face of the JS renderer: consumes the canonical
+    post-PassManager IR (same input as the Python backend)."""
+
+    name = "js"
+
+    def emit(self, unit, **kwargs):
+        return render_js(unit.result, kwargs.get("fn_name") or unit.name)
+
+
 def cross_compile_js(jit, class_name, method_name=None, fn_name=None):
     """Cross-compile a guest static method (or closure) to JavaScript
     source; returns the JS text."""
+    from repro.pipeline.backend import CompilationUnit, get_backend
     if method_name is None:
         compiled = jit.compile_closure(class_name)   # a closure object
         unit_name = fn_name or "apply"
     else:
         compiled = jit.compile_function(class_name, method_name)
         unit_name = fn_name or method_name
-    return render_js(compiled.ir, unit_name)
+    unit = CompilationUnit(result=compiled.ir, name=unit_name, jit=jit)
+    return get_backend("js").emit(unit)
 
 
 def render_js(result, fn_name):

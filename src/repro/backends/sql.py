@@ -23,17 +23,31 @@ from __future__ import annotations
 from repro.errors import CompilationError
 from repro.lms.ir import Branch, Jump, Return
 from repro.lms.rep import ConstRep, StaticRep, Sym
+from repro.pipeline.backend import Backend, CompilationUnit, register_backend
 
 _SQL_OPS = {"add": "+", "sub": "-", "mul": "*", "div": "/",
             "eq": "=", "ne": "<>", "lt": "<", "le": "<=", "gt": ">",
             "ge": ">="}
 
 
+@register_backend
+class SQLBackend(Backend):
+    """Backend-protocol face of the SQL renderer: turns the canonical
+    post-PassManager IR of a one-argument predicate into a WHERE
+    expression over ``column``."""
+
+    name = "sql"
+
+    def emit(self, unit, *, column, **kwargs):
+        return _render_expr(unit.result, {("a1",): None}, column)
+
+
 def predicate_to_sql(jit, closure, column):
     """Compile a one-argument guest closure and render it as a SQL
     expression over ``column``. Returns ``(sql_text, host_callable)``."""
     compiled = jit.compile_closure(closure)
-    sql = _render_expr(compiled.ir, {("a1",): None}, column)
+    unit = CompilationUnit(result=compiled.ir, name=compiled.name, jit=jit)
+    sql = SQLBackend().emit(unit, column=column)
     return sql, compiled
 
 

@@ -96,6 +96,10 @@ class CompiledFunction:
             # `stable` guard: recompile for future calls, finish this one
             # in the interpreter.
             self.invalidate("stable guard failed (%s)" % meta.reason)
+        tiers = getattr(self.jit, "tiers", None)
+        if tiers is not None:
+            # Deopt storms demote tiered units (budget lives in the policy).
+            tiers.on_deopt(self)
         leaf = reconstruct_frames(meta, deopt.lives)
         return self.vm.run_frames(leaf)
 

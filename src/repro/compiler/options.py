@@ -46,6 +46,20 @@ class CompileOptions:
     # Delite accelerator-op fusion (paper 3.4); off for ablations.
     delite_fusion: bool = True
 
+    # Tiered compilation (paper 3.1: makeJIT/makeHOT as library policy).
+    # `tier` names the tier this options object compiles at: 1 = quick
+    # staged compile (shallow specialization, minimal guards, no analysis
+    # passes), 2 = full optimizing compile. The thresholds drive the
+    # per-VM TierPolicy: invocation counts for 0->1 and 1->2 promotion,
+    # a loop back-edge count for mid-execution OSR tier-up, and the
+    # number of deopts a unit may take before being demoted a tier
+    # (and finally blacklisted to the interpreter).
+    tier: int = 2
+    tier1_threshold: int = 2
+    tier2_threshold: int = 8
+    osr_threshold: int = 100
+    deopt_budget: int = 3
+
     # Memoize compile_function/compile_method per (method, specialization,
     # options) in Lancet.unit_cache; off forces a fresh compilation.
     unit_cache: bool = True

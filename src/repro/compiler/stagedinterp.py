@@ -45,7 +45,7 @@ from repro.bytecode.opcodes import Op
 from repro.compiler.blocks import join_bcis
 from repro.compiler.deopt import (DeoptMeta, FrameTemplate, VirtualArray,
                                   VirtualObject)
-from repro.compiler.liveness import live_at
+from repro.analysis.liveness import live_at
 from repro.compiler.options import CompileOptions
 from repro.errors import (CompilationError, GuestError, LinkError,
                           MaterializeError, UnrollError)

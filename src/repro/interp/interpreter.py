@@ -130,6 +130,13 @@ class Interpreter:
         return_value = None
         max_steps = self.max_steps
         profile = self.profile
+        # Tier controller, when armed: hot back-edges may tier up
+        # mid-execution (OSR) and finish this run in compiled code.
+        tiers = None
+        if profile and self.jit is not None:
+            controller = getattr(self.jit, "tiers", None)
+            if controller is not None and controller.armed:
+                tiers = controller
 
         while frame is not None:
             method = frame.method
@@ -188,7 +195,17 @@ class Interpreter:
             elif op is Op.NOT:
                 frame.push(not frame.pop())
             elif op is Op.JUMP:
-                frame.bci = ins.arg
+                target = ins.arg
+                frame.bci = target
+                if profile and target <= bci:
+                    # Loop back-edge: count it, and let a hot loop tier
+                    # up on the stack (the continuation finishes this
+                    # whole run_frames execution in compiled code).
+                    self.profiler.count_backedge(method, target)
+                    if tiers is not None:
+                        cont = tiers.on_backedge(self, frame)
+                        if cont is not None:
+                            return cont()
             elif op is Op.JIF_TRUE:
                 if frame.pop():
                     frame.bci = ins.arg

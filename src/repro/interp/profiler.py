@@ -19,12 +19,17 @@ class Profiler:
         self.invocations = Counter()        # qualified method name -> count
         self.native_calls = Counter()       # "Cls.name" -> count
         self.receiver_types = defaultdict(Counter)  # site -> class name -> count
+        self.backedges = Counter()          # (qualified name, target bci) -> count
         self.telemetry = None               # mirrored into Metrics when set
 
     def count_invoke(self, method):
         self.invocations[method.qualified_name] += 1
         if self.telemetry is not None:
             self.telemetry.inc("profile.invocations")
+
+    def count_backedge(self, method, target_bci):
+        """A loop back-edge (jump to ``target_bci``) was taken."""
+        self.backedges[(method.qualified_name, target_bci)] += 1
 
     def count_native(self, class_name, name):
         self.native_calls["%s.%s" % (class_name, name)] += 1
@@ -37,9 +42,17 @@ class Profiler:
     def invocation_count(self, qualified_name):
         return self.invocations[qualified_name]
 
+    def backedge_count(self, qualified_name, target_bci):
+        return self.backedges[(qualified_name, target_bci)]
+
     def hot_methods(self, threshold):
         """Methods invoked at least ``threshold`` times."""
         return [name for name, n in self.invocations.items() if n >= threshold]
+
+    def hot_loops(self, threshold):
+        """(qualified name, target bci) loop headers whose back-edge count
+        reached ``threshold``."""
+        return [site for site, n in self.backedges.items() if n >= threshold]
 
     def monomorphic_sites(self):
         """Call sites that only ever saw a single receiver class."""
@@ -50,3 +63,4 @@ class Profiler:
         self.invocations.clear()
         self.native_calls.clear()
         self.receiver_types.clear()
+        self.backedges.clear()

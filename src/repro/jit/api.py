@@ -23,9 +23,7 @@ import dataclasses
 import time
 
 from repro.analysis.diagnostics import Diagnostics
-from repro.analysis.pipeline import AnalysisPipeline
 from repro.bytecode.verifier import verify_method
-from repro.compiler.compiled import CompiledFunction, ContinuationClosure
 from repro.compiler.deopt import reconstruct_frames
 from repro.compiler.options import CompileOptions
 from repro.compiler.stagedinterp import (AbstractFrame, MachineState,
@@ -33,10 +31,12 @@ from repro.compiler.stagedinterp import (AbstractFrame, MachineState,
 from repro.errors import (CompilationError, CompilationWarningList,
                           GuestTypeError)
 from repro.interp.interpreter import Interpreter
-from repro.lms.codegen_py import PyCodegen
 from repro.lms.rep import Sym
 from repro.macros.registry import MacroRegistry
 from repro.observability import CompileReport, Telemetry
+from repro.pipeline.backend import CompilationUnit, get_backend
+from repro.pipeline.passes import PassManager
+from repro.pipeline.tiers import TierController
 from repro.runtime.objects import Obj
 
 
@@ -64,6 +64,9 @@ class Lancet:
         self.delite = DeliteRuntime()
         self.delite.telemetry = self.telemetry
         self.vm.delite = self.delite
+        # Tier machinery: unit registry, deopt-driven demotion, and OSR
+        # tier-up off interpreter loop back-edges.
+        self.tiers = TierController(self)
 
     # -- loading -----------------------------------------------------------------
 
@@ -134,15 +137,35 @@ class Lancet:
 
         return self._cached_unit(method, receiver, options, rebuild)
 
+    def compile_tiered(self, class_name, method_name, policy=None):
+        """Hand a static guest method to the tier ladder (paper 3.1).
+
+        Returns a callable :class:`~repro.pipeline.tiers.TieredFunction`
+        that starts interpreted with profiling counters (Tier 0),
+        promotes to a quick Tier-1 compile and then the full Tier-2
+        optimizing compile as invocation counts cross the policy
+        thresholds, tiers up mid-loop via OSR, and demotes on deopt
+        storms.
+        """
+        return self.tiers.tiered_function(class_name, method_name,
+                                          policy=policy)
+
     # -- internals -------------------------------------------------------------------
+
+    def _unit_key(self, method, receiver, options):
+        """Unit-cache key: (method, specialization, options). The options
+        tuple includes the tier, so each tier's code is a distinct entry —
+        tier transitions replace the old entry explicitly."""
+        opts = options or self.options
+        return (id(method), method.qualified_name,
+                id(receiver) if receiver is not None else None,
+                dataclasses.astuple(opts))
 
     def _cached_unit(self, method, receiver, options, rebuild):
         opts = options or self.options
         if not opts.unit_cache:
             return rebuild()
-        key = (id(method), method.qualified_name,
-               id(receiver) if receiver is not None else None,
-               dataclasses.astuple(opts))
+        key = self._unit_key(method, receiver, opts)
         return self.unit_cache.get_or_else_update(key, rebuild)
 
     def _initial_scope(self, options):
@@ -157,9 +180,9 @@ class Lancet:
                       recompile=None, entry_frames=None, diagnostics=None):
         options = options or self.options
         tel = self.telemetry
-        tel.record("compile.start", unit=name)
+        tel.record("compile.start", unit=name, tier=options.tier)
         t_start = time.perf_counter()
-        report = CompileReport(name=name)
+        report = CompileReport(name=name, tier=options.tier)
         machine = StagedInterpreter(self.vm, self.macros, options,
                                     telemetry=tel)
         scope = self._initial_scope(options)
@@ -219,12 +242,15 @@ class Lancet:
             raise CompilationWarningList(result.warnings)
         report.warnings = len(compiled.warnings)
         compiled.report = report
+        compiled.tier = options.tier
         for obj, field in result.stable_deps:
             obj.add_stable_dep(field, compiled)
         self.compile_log.append((name, compiled))
 
         total = time.perf_counter() - t_start
         tel.inc("compiles")
+        tel.inc("compiles.tier%d" % options.tier)
+        tel.observe("compile.tier%d.total" % options.tier, total)
         tel.inc("inlines", machine.inline_count)
         tel.inc("residual_calls", machine.residual_count)
         tel.inc("guards_installed", machine.guard_count)
@@ -234,7 +260,8 @@ class Lancet:
         tel.observe("compile.total", total)
         for phase, seconds in report.phases.items():
             tel.observe("compile.phase.%s" % phase, seconds)
-        tel.record("compile.end", unit=name, seconds=total,
+        tel.record("compile.end", unit=name, tier=options.tier,
+                   seconds=total,
                    passes=report.passes, blocks=report.blocks,
                    stmts=report.stmts, inlines=report.inlines,
                    guards=report.guards_installed,
@@ -245,49 +272,24 @@ class Lancet:
 
     def _emit(self, result, param_names, name, recompile, fuse=True,
               report=None, options=None, diagnostics=None):
-        metas = result.metas
-        vm = self.vm
-        codegen = PyCodegen(vm, result.statics, metas)
-
-        def callv(recv, mname, args):
-            return vm.call_virtual(recv, mname, args)
-
-        def callm(method, recv, args):
-            return vm.invoke_method(method, recv, args)
-
-        def mkcont(meta_id, lives):
-            return ContinuationClosure(vm, metas[meta_id], list(lives))
-
-        def osr(meta_id, lives):
-            return self._osr_execute(metas[meta_id], lives)
-
+        options = options or self.options
         if fuse:
             t0 = time.perf_counter()
             from repro.delite.fusion import fuse_delite
             fuse_delite(result.blocks, jit=self)
             if report is not None:
                 report.phases["fusion"] = time.perf_counter() - t0
-        # The analysis pipeline owns all IR-level optimization (block
-        # fusion, DCE, guard elimination) plus the verify/taint/alloc
-        # passes, so codegen runs with optimize=False.
-        pipeline = AnalysisPipeline(options or self.options,
-                                    telemetry=self.telemetry,
-                                    diagnostics=diagnostics)
-        pipeline.run(result, name, report=report)
-        t0 = time.perf_counter()
-        fn, source = codegen.generate(result.blocks, result.entry_bid,
-                                      param_names, callv, callm, mkcont, osr,
-                                      optimize=False)
-        if report is not None:
-            report.phases["codegen"] = time.perf_counter() - t0
-            report.blocks = len(result.blocks)
-            report.stmts = sum(len(b.stmts)
-                               for b in result.blocks.values())
-        compiled = CompiledFunction(self, fn, source, metas,
-                                    recompile=recompile, name=name,
-                                    warnings=result.warnings)
-        compiled.ir = result   # post-optimization IR, for introspection
-        return compiled
+        # The PassManager owns all IR-level optimization (block fusion,
+        # DCE, guard elimination) plus the verify/taint/alloc passes, per
+        # the tier's declarative pass list; the backend runs with
+        # optimize=False and never re-cleans the CFG itself.
+        manager = PassManager(options, telemetry=self.telemetry,
+                              diagnostics=diagnostics)
+        manager.run(result, name, report=report)
+        unit = CompilationUnit(result=result, name=name, jit=self,
+                               recompile=recompile, report=report,
+                               options=options)
+        return get_backend("python").emit(unit)
 
     def _osr_execute(self, meta, lives):
         """``fastpath``: compile the captured continuation with the current
@@ -370,6 +372,21 @@ class Lancet:
             }
             if any(probes.values()):
                 caches[cname] = probes
+        tier_timings = {}
+        for t in (1, 2):
+            timing = m.timing("compile.tier%d.total" % t)
+            if timing:
+                tier_timings[t] = timing
+        tiers = {
+            "compiles_by_tier": {t: m.get("compiles.tier%d" % t)
+                                 for t in (1, 2)},
+            "promotions": m.get("tier.promotions"),
+            "demotions": m.get("tier.demotions"),
+            "blacklists": m.get("tier.blacklists"),
+            "osr_tier_ups": m.get("tier.osr_up"),
+            "timings": tier_timings,
+            "units": self.tiers.snapshot(),
+        }
         return {
             "compiles": m.get("compiles"),
             "compile_seconds": (compile_total or {}).get("total", 0.0),
@@ -384,6 +401,7 @@ class Lancet:
             "deopts": m.get("deopts"),
             "deopt_sites": m.get("deopt_sites"),
             "osr_compiles": m.get("osr.compiles"),
+            "tiers": tiers,
             "invalidations": m.get("invalidations"),
             "inlines": m.get("inlines"),
             "residual_calls": m.get("residual_calls"),

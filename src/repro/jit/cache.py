@@ -79,6 +79,11 @@ class CodeCache:
             entry = self.put(key, compile_fn())
         return entry
 
+    def remove(self, key):
+        """Drop one entry without invalidating it (tier transitions
+        *replace* a unit's entry rather than accumulating one per tier)."""
+        return self._entries.pop(key, None)
+
     def invalidate_all(self, reason="cache flush"):
         n = len(self._entries)
         for compiled in self._entries.values():
@@ -144,7 +149,7 @@ def make_jit(jit, class_name, method_name, cache=None):
 
 
 def make_hot(jit, class_name, method_name, threshold=2, cache=None,
-             background=False):
+             background=False, tiered=False):
     """Like :func:`make_jit`, but only compiles a variant after its first
     argument has been seen ``threshold`` times; colder values run in the
     interpreter (amortizing compilation cost, paper's ``calcHOT``).
@@ -152,46 +157,100 @@ def make_hot(jit, class_name, method_name, threshold=2, cache=None,
     With ``background=True``, compilation is submitted to a worker thread
     ("we could add background compilation by submitting the actual
     compilation as a task to a worker thread"): calls keep interpreting
-    until the compiled variant lands in the cache.
+    until the compiled variant lands in the cache. Compilation kick-off
+    is guarded by an in-flight set under a lock, so a variant is compiled
+    exactly once even when the threshold crossing races another caller or
+    an LRU eviction re-triggers the hot path.
+
+    With ``tiered=True``, hot variants ride the tier ladder instead of
+    compiling at full strength immediately: the ``threshold``-th sighting
+    gets a quick Tier-1 compile, and once the variant has run compiled
+    ``jit.options.tier2_threshold`` times it is *replaced* (same cache
+    key) by the Tier-2 optimizing compile.
     """
+    import threading
+
     jitted = make_jit(jit, class_name, method_name, cache=cache)
     profile = {}
     pending = {}
+    in_flight = set()
+    lock = threading.Lock()
+    variant_tier = {}       # x -> tier of the cached variant (tiered mode)
+    hot_calls = {}          # x -> calls served by the compiled variant
     closure_cls = _partial_applier_class(jit, class_name, method_name)
 
-    def compile_variant(x):
+    def compile_variant(x, options=None):
         closure = new_instance(closure_cls)
         closure.fields["x"] = x
-        return jit.compile_closure(closure)
+        return jit.compile_closure(closure, options=options)
+
+    def _compile_tiered(x, tier):
+        from repro.pipeline.tiers import tier_options
+        compiled = compile_variant(x, options=tier_options(jit.options,
+                                                           tier))
+        jitted.cache.put(x, compiled)   # same key: replace, never stack
+        old = variant_tier.get(x)
+        variant_tier[x] = tier
+        if old is not None and tier > old:
+            tel = jit.telemetry
+            tel.inc("tier.promotions")
+            tel.record("tier.promote", unit="%s.%s@%r"
+                       % (class_name, method_name, x),
+                       from_tier=old, to_tier=tier,
+                       calls=hot_calls.get(x, 0))
+        return compiled
+
+    def _spawn_background(x):
+        """Start the one background compile for ``x`` (caller holds
+        ``lock``) — the in-flight set is what makes a concurrent
+        threshold crossing, or an eviction racing a finished worker,
+        unable to start a second task for the same key."""
+        if x in in_flight:
+            return
+        in_flight.add(x)
+
+        def task():
+            try:
+                jitted.cache.put(x, compile_variant(x))
+            finally:
+                with lock:
+                    in_flight.discard(x)
+                    pending.pop(x, None)
+
+        worker = threading.Thread(target=task, daemon=True)
+        pending[x] = worker
+        worker.start()
 
     def call(x, y):
-        if x in jitted.cache:
-            return jitted(x, y)
-        seen = profile.get(x, 0)
-        if seen < threshold:
-            profile[x] = seen + 1
+        compiled = jitted.cache._entries.get(x)
+        if compiled is not None:
+            jitted.cache.get(x)   # count the hit, refresh LRU order
+            if tiered:
+                n = hot_calls.get(x, 0) + 1
+                hot_calls[x] = n
+                if (variant_tier.get(x, 2) < 2
+                        and n >= jit.options.tier2_threshold):
+                    compiled = _compile_tiered(x, 2)
+            return compiled(y)
+        with lock:
+            seen = profile.get(x, 0)
+            if seen < threshold:
+                profile[x] = seen + 1
+                cold = True
+            else:
+                cold = False
+                if background:
+                    _spawn_background(x)
+        if cold or background:
             return jit.vm.call(class_name, method_name, [x, y])
-        if not background:
-            return jitted(x, y)
-        # Hot, background mode: kick off compilation once, keep
-        # interpreting until it finishes.
-        worker = pending.get(x)
-        if worker is None:
-            import threading
-
-            def task():
-                jitted.cache.put(x, compile_variant(x))
-
-            worker = threading.Thread(target=task, daemon=True)
-            pending[x] = worker
-            worker.start()
-        if not worker.is_alive():
-            pending.pop(x, None)
-            if x in jitted.cache:
-                return jitted(x, y)
-        return jit.vm.call(class_name, method_name, [x, y])
+        if tiered:
+            hot_calls[x] = hot_calls.get(x, 0) + 1
+            return _compile_tiered(x, 1)(y)
+        return jitted(x, y)
 
     call.cache = jitted.cache
     call.profile = profile
     call.pending = pending
+    call.in_flight = in_flight
+    call.variant_tier = variant_tier
     return call

@@ -14,14 +14,17 @@ Single-predecessor blocks read their predecessor's variables directly
 dominates); merge blocks receive values through explicit parameter
 variables assigned by each predecessor.
 
-Dead pure/alloc statements are removed first — this is where scalar-
-replaced allocations finally disappear from the generated code.
+This module only *renders*: block fusion and DCE are PassManager passes
+(:mod:`repro.pipeline.passes`) shared by every backend; the names are
+re-exported here for standalone codegen users.
 """
 
 from __future__ import annotations
 
-from repro.lms.ir import Branch, Deopt, Effect, Jump, OsrCompile, Return
-from repro.lms.rep import ConstRep, Rep, StaticRep, Sym
+from repro.analysis.dce import eliminate_dead  # noqa: F401  (re-export)
+from repro.analysis.fuse import fuse_blocks  # noqa: F401  (re-export)
+from repro.lms.ir import Branch, Deopt, Jump, OsrCompile, Return
+from repro.lms.rep import ConstRep, StaticRep, Sym
 
 
 def _no_delite(*args):
@@ -37,58 +40,6 @@ _HELPER_BY_OP = {
     "getfield": "_getf", "putfield": "_putf",
     "aload": "_aload", "astore": "_astore", "alen": "_alen",
 }
-
-
-def fuse_blocks(blocks, entry_id):
-    """Merge single-predecessor blocks into their predecessor.
-
-    Chains of continuation blocks (produced by splitting at join points
-    that turned out to have one live edge, and by loop unrolling) collapse
-    into straight-line code, removing label-dispatch overhead. A single
-    pass over the blocks: fusing never changes any surviving block's
-    in-degree (the absorbed block's outgoing edges move wholesale), and
-    each fusion site keeps absorbing its whole chain before moving on, so
-    the work is linear in the total statement count.
-    """
-    from repro.lms.ir import Stmt
-
-    in_edges = {bid: 0 for bid in blocks}
-    for block in blocks.values():
-        for succ in block.terminator.successors():
-            # Tolerate dangling edges: collect-mode analysis keeps going
-            # after the verifier has already reported them.
-            in_edges[succ] = in_edges.get(succ, 0) + 1
-    for bid in list(blocks):
-        block = blocks.get(bid)
-        if block is None:
-            continue            # already absorbed into a predecessor
-        while True:
-            term = block.terminator
-            if not isinstance(term, Jump):
-                break
-            target = term.target
-            if target == entry_id or target == block.block_id \
-                    or target not in blocks or in_edges.get(target) != 1:
-                break
-            tblock = blocks[target]
-            for name, rep in term.phi_assigns:
-                block.stmts.append(Stmt(Sym(name), "id", (rep,),
-                                        Effect.WRITE))
-            block.stmts.extend(tblock.stmts)
-            block.terminator = tblock.terminator
-            del blocks[target]
-    return blocks
-
-
-def eliminate_dead(blocks, entry_id=None):
-    """Global dead-code elimination over the CFG (pure/alloc defs only).
-
-    Thin wrapper over the liveness-based pass in
-    :mod:`repro.analysis.dce`; kept here because standalone codegen users
-    (and the tests) reach DCE through this module.
-    """
-    from repro.analysis.dce import eliminate_dead as _eliminate_dead
-    return _eliminate_dead(blocks, entry_id)
 
 
 class PyCodegen:

@@ -86,9 +86,17 @@ def ntimes(ctx, recv, args):
 
 def compile_macro(ctx, recv, args):
     """``Lancet.compile`` encountered *during* compilation: run the nested
-    explicit compilation now and embed the resulting compiled closure."""
+    explicit compilation now and embed the resulting compiled closure.
+    A surrounding ``tier1``/``tier2`` directive pins the nested compile's
+    tier."""
     closure = ctx.eval_m(args[0])
-    compiled = ctx.vm.jit.compile_closure(closure)
+    jit = ctx.vm.jit
+    tier = ctx.scope_get("tier", None)
+    options = None
+    if tier is not None:
+        from repro.pipeline.tiers import tier_options
+        options = tier_options(jit.options, tier)
+    compiled = jit.compile_closure(closure, options=options)
     return ctx.lift(compiled)
 
 
@@ -106,7 +114,8 @@ def install_core_macros(registry):
     registry.install("Lancet", "shift", control.shift)
     registry.install("Lancet", "reset", control.reset)
     for name in ("inlineAlways", "inlineNever", "inlineNonRec",
-                 "unrollTopLevel", "checkNoAlloc", "checkNoTaint"):
+                 "unrollTopLevel", "checkNoAlloc", "checkNoTaint",
+                 "tier1", "tier2"):
         registry.install("Lancet", name, directives.scoped_directive(name))
     registry.install("Lancet", "atScope", directives.at_scope)
     registry.install("Lancet", "inScope", directives.in_scope)

@@ -21,6 +21,11 @@ _SCOPED = {
     "unrollTopLevel": {"unroll": True},
     "checkNoAlloc": {"noalloc": True},
     "checkNoTaint": {"checktaint": True},
+    # Tier pinning: nested `Lancet.compile` calls inside the thunk compile
+    # at the given tier (quick Tier-1 vs full Tier-2) regardless of the
+    # VM-wide default.
+    "tier1": {"tier": 1},
+    "tier2": {"tier": 2},
 }
 
 

@@ -32,6 +32,9 @@ Event kinds emitted by the built-in instrumentation::
     delite.launch
     analysis.report          (per-unit IR analysis summary)
     analysis.verify_fail     (IR verifier found a malformed CFG)
+    pass.run                 (one PassManager pass: timing, CFG deltas)
+    tier.promote / tier.demote   (tier-ladder transitions, with tiers)
+    osr.tier_up              (hot loop back-edge tiered up mid-execution)
 """
 
 from __future__ import annotations

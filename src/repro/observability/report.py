@@ -18,7 +18,9 @@ class CompileReport:
     """What one compilation did. Times are wall-clock seconds."""
 
     name: str = "unit"
+    tier: int = 2
     phases: dict = dataclasses.field(default_factory=dict)
+    pass_stats: list = dataclasses.field(default_factory=list)
     passes: int = 0
     blocks: int = 0
     stmts: int = 0
@@ -40,7 +42,8 @@ class CompileReport:
         return d
 
     def __repr__(self):
-        return ("<CompileReport %s %.3fms passes=%d blocks=%d inlines=%d "
-                "guards=%d>" % (self.name, self.total_seconds * 1e3,
-                                self.passes, self.blocks, self.inlines,
-                                self.guards_installed))
+        return ("<CompileReport %s tier=%d %.3fms passes=%d blocks=%d "
+                "inlines=%d guards=%d>"
+                % (self.name, self.tier, self.total_seconds * 1e3,
+                   self.passes, self.blocks, self.inlines,
+                   self.guards_installed))

@@ -1,0 +1,30 @@
+"""The tiered compile pipeline (paper 3.1: ``makeJIT``/``makeHOT``).
+
+Three layers, each explicit and program-visible:
+
+* **Tiers** (:mod:`repro.pipeline.tiers`) — Tier 0 interprets with
+  method-call and loop-back-edge counters; Tier 1 is a quick staged
+  compile (shallow specialization, minimal guards, no analysis passes)
+  for fast warmup; Tier 2 is the full optimizing compile
+  (abstract-interpretation fixpoint + the whole analysis pass list).
+  A per-VM :class:`TierPolicy` promotes units 0→1→2 on profile counters,
+  hot loop back-edges tier up mid-execution through the OSR/snapshot
+  machinery, and deopt storms demote with a per-unit failure budget
+  before blacklisting back to Tier 0.
+* **PassManager** (:mod:`repro.pipeline.passes`) — a declarative,
+  per-tier IR pass list (verify → fuse → DCE → guard-elim →
+  taint/no-alloc demands) with per-pass telemetry timings and
+  before/after block counts.
+* **Backend protocol** (:mod:`repro.pipeline.backend`) — a
+  :class:`Backend` ABC implemented by the Python, JavaScript, and SQL
+  code generators, all consuming one canonical post-pipeline IR.
+"""
+
+from repro.pipeline.backend import Backend, CompilationUnit, get_backend
+from repro.pipeline.passes import PassManager
+from repro.pipeline.tiers import (TIER0, TIER1, TIER2, TierController,
+                                  TieredFunction, TierPolicy, tier_options)
+
+__all__ = ["Backend", "CompilationUnit", "get_backend", "PassManager",
+           "TIER0", "TIER1", "TIER2", "TierController", "TieredFunction",
+           "TierPolicy", "tier_options"]

@@ -1,0 +1,206 @@
+"""The PassManager: a declarative, per-tier IR pass list.
+
+One pass list per tier, run between staging and code generation:
+
+* **Tier 1** (quick compile): ``fuse`` only — a single linear sweep so
+  warmup compiles stay cheap.
+* **Tier 2** (optimizing compile): ``verify.staged`` → ``fuse`` →
+  ``dce`` → ``guards`` → ``verify.optimized`` → ``taint`` → ``alloc``.
+
+Order encodes the semantics this package exists for: the verifier runs
+where IR is produced and again after the optimizer (which must preserve
+well-formedness); taint runs over the *optimized* CFG; ``checkNoAlloc``
+runs post-DCE so dead allocations are gone and only allocations
+surviving into generated code are reported.
+
+Every pass run is timed and counted: wall time lands in the metrics
+registry under ``pass.<name>`` and per-unit in
+``CompileReport.pass_stats`` together with before/after block and
+statement counts; a ``pass.run`` trace event fires per pass. The legacy
+``analysis.*`` phase keys in ``CompileReport.phases`` are kept so
+``Lancet.stats()['phase_timings']`` stays stable.
+
+In *enforce* mode (normal compilation) violations raise
+:class:`IRVerifyError` / :class:`TaintError` / :class:`NoAllocError`; in
+*collect* mode (``Lancet.analyze``) they become structured findings on a
+:class:`~repro.analysis.diagnostics.Diagnostics` and compilation
+continues.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.alloc import check_noalloc
+from repro.analysis.dce import eliminate_dead, eliminate_redundant_guards
+from repro.analysis.fuse import fuse_blocks
+from repro.analysis.taint import find_leaks
+from repro.analysis.verify import verify_ir
+from repro.errors import IRVerifyError, NoAllocError, TaintError
+
+#: Legacy CompileReport.phases key each pass accumulates into.
+_LEGACY_PHASE = {
+    "verify.staged": "analysis.verify",
+    "verify.optimized": "analysis.verify",
+    "fuse": "analysis.optimize",
+    "dce": "analysis.optimize",
+    "guards": "analysis.optimize",
+    "taint": "analysis.taint",
+    "alloc": "analysis.alloc",
+}
+
+#: Declarative per-tier pass lists (tier 0 never reaches the pipeline).
+TIER_PASSES = {
+    1: ("fuse",),
+    2: ("verify.staged", "fuse", "dce", "guards", "verify.optimized",
+        "taint", "alloc"),
+}
+
+
+def _cfg_size(result):
+    return (len(result.blocks),
+            sum(len(b.stmts) for b in result.blocks.values()))
+
+
+class PassManager:
+    """Runs the per-tier pass list over a CompileResult, in place.
+
+    ``diagnostics`` switches the manager into collect mode: findings are
+    appended there instead of raising. The tier is taken from
+    ``options.tier`` unless overridden per ``run`` call.
+    """
+
+    def __init__(self, options, telemetry=None, diagnostics=None):
+        self.options = options
+        self.telemetry = telemetry
+        self.diagnostics = diagnostics
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _tel_record(self, kind, /, **data):
+        if self.telemetry is not None:
+            self.telemetry.record(kind, **data)
+
+    def _finish_pass(self, name, result, t0, size_before, report, info):
+        seconds = time.perf_counter() - t0
+        blocks_after, stmts_after = _cfg_size(result)
+        if self.telemetry is not None:
+            self.telemetry.observe("pass.%s" % name, seconds)
+        self._tel_record("pass.run", name=name, seconds=seconds,
+                         blocks_before=size_before[0],
+                         blocks_after=blocks_after,
+                         stmts_before=size_before[1],
+                         stmts_after=stmts_after, **(info or {}))
+        if report is not None:
+            report.pass_stats.append({
+                "pass": name, "seconds": seconds,
+                "blocks_before": size_before[0],
+                "blocks_after": blocks_after,
+                "stmts_before": size_before[1],
+                "stmts_after": stmts_after,
+            })
+            legacy = _LEGACY_PHASE.get(name)
+            if legacy is not None:
+                report.phases[legacy] = report.phases.get(legacy, 0.0) \
+                    + seconds
+
+    def _verify(self, result, name, stage):
+        errors = verify_ir(result.blocks, result.entry_bid,
+                           params=result.param_names, metas=result.metas,
+                           stage=stage, collect=True)
+        if not errors:
+            return {}
+        self._tel_record("analysis.verify_fail", unit=name, stage=stage,
+                         errors=list(errors))
+        if self.diagnostics is not None:
+            self.diagnostics.extend("error", "verify",
+                                    ["%s IR: %s" % (stage, e)
+                                     for e in errors])
+            return {"errors": len(errors)}
+        raise IRVerifyError(
+            "IR verification failed for %s (%s IR): %s"
+            % (name, stage, "; ".join(errors)), errors=errors, stage=stage)
+
+    # -- the pipeline ----------------------------------------------------------
+
+    def passes_for(self, tier):
+        """The effective pass list for ``tier`` under current options:
+        verify passes only run with ``verify_ir`` (or in collect mode),
+        and demanded analyses (``checkNoAlloc``/``checkNoTaint``) upgrade
+        a Tier-1 list to the full one — a demanded check must never be
+        silently skipped for warmup speed."""
+        verify = self.options.verify_ir or self.diagnostics is not None
+        if tier == 1 and (self.options.check_noalloc
+                          or self.options.check_taint):
+            tier = 2
+        names = TIER_PASSES.get(tier, TIER_PASSES[2])
+        return tuple(n for n in names
+                     if verify or not n.startswith("verify."))
+
+    def run(self, result, name, tier=None, report=None):
+        """Run the tier's pass list over ``result`` in place; returns a
+        summary dict (also emitted as an ``analysis.report`` event)."""
+        diag = self.diagnostics
+        tier = self.options.tier if tier is None else tier
+        summary = {"removed_stmts": 0, "removed_guards": 0, "leaks": 0,
+                   "noalloc_sites": 0}
+        leaks, sites = [], []
+
+        for pname in self.passes_for(tier):
+            t0 = time.perf_counter()
+            size_before = _cfg_size(result)
+            info = None
+            if pname == "verify.staged":
+                info = self._verify(result, name, "staged")
+            elif pname == "fuse":
+                fuse_blocks(result.blocks, result.entry_bid)
+            elif pname == "dce":
+                summary["removed_stmts"] = eliminate_dead(result.blocks,
+                                                          result.entry_bid)
+                info = {"removed": summary["removed_stmts"]}
+            elif pname == "guards":
+                summary["removed_guards"] = \
+                    eliminate_redundant_guards(result.blocks)
+                info = {"removed": summary["removed_guards"]}
+            elif pname == "verify.optimized":
+                info = self._verify(result, name, "optimized")
+            elif pname == "taint":
+                leaks = find_leaks(result.blocks, result.entry_bid,
+                                   result.taint_branch_sinks)
+                summary["leaks"] = len(leaks)
+                info = {"leaks": len(leaks)}
+            elif pname == "alloc":
+                sites = check_noalloc(result.blocks, result.noalloc_sites)
+                summary["noalloc_sites"] = len(sites)
+                info = {"sites": len(sites)}
+            else:  # pragma: no cover - pass lists are closed above
+                raise AssertionError("unknown pass %r" % (pname,))
+            self._finish_pass(pname, result, t0, size_before, report, info)
+
+        summary["blocks"] = len(result.blocks)
+        summary["warnings"] = len(result.warnings)
+        summary["tier"] = tier
+        self._tel_record("analysis.report", unit=name, **summary)
+
+        if diag is not None:
+            diag.extend("error", "taint", leaks)
+            diag.extend("error", "noalloc", sites)
+            diag.extend("warning", "compile",
+                        [str(w) for w in result.warnings])
+            diag.add("info", "dce", "%d dead statement(s) removed"
+                     % summary["removed_stmts"])
+            if summary["removed_guards"]:
+                diag.add("info", "guards", "%d redundant guard(s) removed"
+                         % summary["removed_guards"])
+            return summary
+
+        if leaks:
+            raise TaintError(
+                "taint analysis of %s found %d leak(s): %s"
+                % (name, len(leaks), "; ".join(leaks)), leaks=leaks)
+        if sites:
+            raise NoAllocError(
+                "checkNoAlloc failed for %s: %d residual allocation/deopt "
+                "site(s): %s" % (name, len(sites), "; ".join(sites)),
+                sites=sites)
+        return summary

@@ -1,0 +1,301 @@
+"""Profile-driven tier promotion (paper 3.1: ``makeJIT``/``makeHOT``).
+
+Tier ladder:
+
+* **Tier 0** — the interpreter, with method-call and loop-back-edge
+  counters from :mod:`repro.interp.profiler`.
+* **Tier 1** — a quick staged compile: shallow specialization (no
+  inlining, no stable-field speculation, no Delite fusion) and a minimal
+  PassManager list, so time-to-first-compiled-call stays small.
+* **Tier 2** — the full optimizing compile: abstract-interpretation
+  fixpoint plus the whole analysis pass list (current single-tier
+  behavior).
+
+Promotion is explicit library policy, not a VM black box: a
+:class:`TieredFunction` promotes 0→1→2 on invocation counts (thresholds
+live in :class:`~repro.compiler.options.CompileOptions`), hot loop
+back-edges tier up *mid-execution* by compiling the current frame chain
+as an OSR continuation (the same snapshot machinery
+:mod:`repro.compiler.deopt` uses), and deopt storms demote one tier at a
+time — each unit has a failure budget; exhausting it at Tier 1
+blacklists the unit back to the interpreter.
+
+Unit-cache discipline: cache keys carry the tier (it is part of the
+options tuple), and promotion *replaces* the unit's entry rather than
+accumulating one per tier.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+TIER0, TIER1, TIER2 = 0, 1, 2
+
+
+def tier_options(base, tier):
+    """Derive the CompileOptions for ``tier`` from ``base``.
+
+    Tier 1 turns off everything that makes compilation slow: inlining
+    (the staged IR stays one method deep), final-field/static-array
+    folding beyond what specialization gives for free is kept (it is
+    cheap and macros rely on static receivers), stable-field speculation
+    (fewer guards), Delite fusion, and the self-checking verifiers. The
+    PassManager additionally selects its minimal Tier-1 pass list from
+    ``options.tier``.
+    """
+    if tier == TIER2:
+        return dataclasses.replace(base, tier=TIER2)
+    if tier == TIER1:
+        return dataclasses.replace(
+            base, tier=TIER1, inline_policy="never",
+            speculate_stable=False, delite_fusion=False,
+            verify_ir=False, verify_bytecode=False)
+    raise ValueError("no compiled tier %r (tier 0 is the interpreter)"
+                     % (tier,))
+
+
+class TierPolicy:
+    """Per-VM promotion policy: reads thresholds from CompileOptions."""
+
+    def __init__(self, options):
+        self.options = options
+
+    @property
+    def tier1_threshold(self):
+        return self.options.tier1_threshold
+
+    @property
+    def tier2_threshold(self):
+        return self.options.tier2_threshold
+
+    @property
+    def osr_threshold(self):
+        return self.options.osr_threshold
+
+    @property
+    def deopt_budget(self):
+        return self.options.deopt_budget
+
+    def options_for(self, tier, base=None):
+        return tier_options(base if base is not None else self.options,
+                            tier)
+
+    def next_tier(self, tier, calls):
+        """The tier ``calls`` invocations warrant, given current ``tier``
+        (never demotes; demotion is deopt-driven)."""
+        if tier < TIER2 and calls >= self.tier2_threshold:
+            return TIER2
+        if tier < TIER1 and calls >= self.tier1_threshold:
+            return TIER1
+        return tier
+
+
+class TieredFunction:
+    """A static guest method executed through the tier ladder.
+
+    Callable like the method itself. Starts in Tier 0 (interpreted,
+    counted); promotes through Tier 1 to Tier 2 as invocation counts
+    cross the policy thresholds; demotes one tier per exhausted deopt
+    budget, down to a Tier-0 blacklist.
+    """
+
+    def __init__(self, jit, class_name, method_name, policy=None):
+        self.jit = jit
+        self.class_name = class_name
+        self.method_name = method_name
+        self.policy = policy or TierPolicy(jit.options)
+        self.method = jit.vm.linker.resolve_static(class_name, method_name)
+        self.qualified_name = self.method.qualified_name
+        self.tier = TIER0
+        self.compiled = None
+        self.calls = 0
+        self.failures = 0          # deopts charged against current tier
+        self.max_tier = TIER2      # lowered by demotion: no ping-pong
+        self.blacklisted = False
+        self._cache_key = None     # unit-cache key of the current entry
+        jit.tiers.register(self)
+
+    # -- counters --------------------------------------------------------------
+
+    def _observed_calls(self):
+        """Calls seen so far: the wrapper's own count plus interpreter
+        profiler invocations (nested guest calls promote too)."""
+        return max(self.calls,
+                   self.jit.vm.profiler.invocation_count(
+                       self.qualified_name))
+
+    # -- tier transitions ------------------------------------------------------
+
+    def _compile_at(self, tier):
+        jit = self.jit
+        opts = self.policy.options_for(tier, base=jit.options)
+        compiled = jit.compile_function(self.class_name, self.method_name,
+                                        options=opts)
+        compiled.tiered_owner = self
+        old_key = self._cache_key
+        new_key = jit._unit_key(self.method, None, opts)
+        if old_key is not None and old_key != new_key:
+            # Promotion/demotion replaces the unit's entry instead of
+            # accumulating one per tier.
+            jit.unit_cache.remove(old_key)
+        self._cache_key = new_key
+        self.compiled = compiled
+        return compiled
+
+    def _promote(self, to_tier):
+        from_tier = self.tier
+        self._compile_at(to_tier)
+        self.tier = to_tier
+        self.failures = 0
+        tel = self.jit.telemetry
+        tel.inc("tier.promotions")
+        tel.record("tier.promote", unit=self.qualified_name,
+                   from_tier=from_tier, to_tier=to_tier,
+                   calls=self._observed_calls())
+
+    def demote(self, reason="deopt budget exhausted"):
+        """Drop one tier; from Tier 1 this blacklists to the interpreter.
+        Demotion caps ``max_tier`` so stale invocation counts cannot
+        immediately re-promote the unit (no tier ping-pong)."""
+        from_tier = self.tier
+        tel = self.jit.telemetry
+        if from_tier >= TIER2:
+            self.tier = TIER1
+            self.max_tier = TIER1
+            self._compile_at(TIER1)
+            self.failures = 0
+        else:
+            self.tier = TIER0
+            self.blacklisted = True
+            self.compiled = None
+            if self._cache_key is not None:
+                self.jit.unit_cache.remove(self._cache_key)
+                self._cache_key = None
+            tel.inc("tier.blacklists")
+        tel.inc("tier.demotions")
+        tel.record("tier.demote", unit=self.qualified_name,
+                   from_tier=from_tier, to_tier=self.tier,
+                   blacklisted=self.blacklisted, reason=reason)
+
+    def on_deopt(self, compiled):
+        """A runtime guard failed in this unit's compiled code."""
+        self.failures += 1
+        if self.tier > TIER0 and self.failures > self.policy.deopt_budget:
+            self.demote()
+
+    # -- execution -------------------------------------------------------------
+
+    def __call__(self, *args):
+        self.calls += 1
+        if not self.blacklisted:
+            target = min(self.policy.next_tier(self.tier,
+                                               self._observed_calls()),
+                         self.max_tier)
+            if target > self.tier:
+                self._promote(target)
+        if self.compiled is not None:
+            return self.compiled(*args)
+        return self.jit.vm.call(self.class_name, self.method_name,
+                                list(args))
+
+    def __repr__(self):
+        state = "blacklisted" if self.blacklisted else "tier %d" % self.tier
+        return "<TieredFunction %s (%s, %d calls)>" % (
+            self.qualified_name, state, self.calls)
+
+
+class TierController:
+    """Per-Lancet tier machinery: the unit registry, deopt routing, and
+    mid-execution OSR tier-up off interpreter loop back-edges."""
+
+    def __init__(self, jit):
+        self.jit = jit
+        self.policy = TierPolicy(jit.options)
+        self._units = {}           # qualified name -> TieredFunction
+        self._osr_blacklist = set()  # (qualified name, bci)
+        self._in_osr = False
+
+    # -- registry --------------------------------------------------------------
+
+    def register(self, tiered):
+        self._units[tiered.qualified_name] = tiered
+        # Tier 0 is "interpreter with counters": arm the profiler so
+        # invocation and back-edge counts accumulate.
+        self.jit.vm.profile = True
+
+    def tiered_function(self, class_name, method_name, policy=None):
+        return TieredFunction(self.jit, class_name, method_name,
+                              policy=policy)
+
+    def unit(self, qualified_name):
+        return self._units.get(qualified_name)
+
+    @property
+    def armed(self):
+        return bool(self._units)
+
+    # -- deopt routing ---------------------------------------------------------
+
+    def on_deopt(self, compiled):
+        owner = getattr(compiled, "tiered_owner", None)
+        if owner is not None:
+            owner.on_deopt(compiled)
+
+    # -- OSR tier-up -----------------------------------------------------------
+
+    def on_backedge(self, vm, frame):
+        """Called by the interpreter on a counted loop back-edge. Returns
+        a zero-argument callable to finish the current ``run_frames``
+        execution in compiled code, or ``None`` to keep interpreting."""
+        owner = self._units.get(frame.method.qualified_name)
+        if (owner is None or owner.blacklisted
+                or owner.max_tier < TIER2 or self._in_osr):
+            return None
+        site = (frame.method.qualified_name, frame.bci)
+        if site in self._osr_blacklist:
+            return None
+        count = vm.profiler.backedge_count(*site)
+        if count < self.policy.osr_threshold:
+            return None
+
+        from repro.errors import CompilationError
+
+        frames = []
+        f = frame
+        while f is not None:
+            frames.append(f)
+            f = f.parent
+        frames.reverse()
+        self._in_osr = True
+        try:
+            try:
+                compiled = self.jit._compile_unit(
+                    frame.method, receiver=None,
+                    options=self.policy.options_for(TIER2,
+                                                    base=self.jit.options),
+                    name="osr-tier@%s:%d" % site, entry_frames=frames)
+            except CompilationError:
+                self._osr_blacklist.add(site)
+                return None
+            tel = self.jit.telemetry
+            tel.inc("tier.osr_up")
+            tel.record("osr.tier_up", unit=owner.qualified_name,
+                       method=site[0], bci=site[1], backedges=count)
+            # Future calls should enter compiled code directly: promote
+            # the owning unit to the top tier (the continuation finishes
+            # the in-flight execution either way).
+            if owner.tier < TIER2:
+                owner._promote(TIER2)
+        finally:
+            self._in_osr = False
+        return compiled
+
+    # -- stats -----------------------------------------------------------------
+
+    def snapshot(self):
+        """Tier state of every registered unit (for ``Lancet.stats()``)."""
+        return {
+            name: {"tier": u.tier, "calls": u.calls,
+                   "failures": u.failures, "blacklisted": u.blacklisted}
+            for name, u in self._units.items()
+        }

@@ -297,7 +297,8 @@ def _run_thunk(vm, thunk):
 
 
 for _name in ("inlineAlways", "inlineNever", "inlineNonRec",
-              "unrollTopLevel", "checkNoAlloc", "checkNoTaint"):
+              "unrollTopLevel", "checkNoAlloc", "checkNoTaint",
+              "tier1", "tier2"):
     NATIVES[("Lancet", _name)] = NativeMethod(
         "Lancet", _name, 1, _run_thunk, calls_guest=True)
 

@@ -97,6 +97,88 @@ class TestMakeHot:
         assert results == [expected_calc(3, y) for y in range(4)]
 
 
+class TestMakeHotBackground:
+    def _drain(self, calc_hot, timeout=5.0):
+        import time
+        deadline = time.monotonic() + timeout
+        while calc_hot.in_flight and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert not calc_hot.in_flight, "background compile never finished"
+
+    def test_background_compiles_while_interpreting(self):
+        j = load(CALC_SRC)
+        calc_hot = make_hot(j, "Main", "calc", threshold=1,
+                            background=True)
+        assert calc_hot(4, 1) == expected_calc(4, 1)   # cold: interpret
+        assert calc_hot(4, 2) == expected_calc(4, 2)   # hot: kicks compile
+        self._drain(calc_hot)
+        assert len(calc_hot.cache) == 1
+        assert calc_hot(4, 3) == expected_calc(4, 3)   # now compiled
+
+    def test_concurrent_threshold_crossing_compiles_once(self):
+        """Regression: the background compile task must run exactly once
+        per key even when many callers cross the threshold concurrently
+        (the in-flight set is what prevents duplicate tasks)."""
+        import threading
+
+        j = load(CALC_SRC)
+        gate = threading.Event()
+        compile_calls = []
+        real_compile = j.compile_closure
+
+        def gated_compile(closure, options=None):
+            compile_calls.append(1)
+            gate.wait(5)
+            return real_compile(closure, options=options)
+
+        j.compile_closure = gated_compile
+        calc_hot = make_hot(j, "Main", "calc", threshold=0,
+                            background=True)
+
+        threads = [threading.Thread(target=calc_hot, args=(5, k))
+                   for k in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        gate.set()
+        self._drain(calc_hot)
+        assert len(compile_calls) == 1
+        assert len(calc_hot.cache) == 1
+        assert calc_hot(5, 1) == expected_calc(5, 1)
+
+    def test_eviction_rerace_does_not_duplicate_inflight_task(self):
+        """An LRU eviction re-heating a key while its compile task is
+        still in flight must not start a second task for it."""
+        import threading
+
+        from repro import CodeCache
+
+        j = load(CALC_SRC)
+        gate = threading.Event()
+        compile_calls = []
+        real_compile = j.compile_closure
+
+        def gated_compile(closure, options=None):
+            compile_calls.append(closure.fields["x"])
+            gate.wait(5)
+            return real_compile(closure, options=options)
+
+        j.compile_closure = gated_compile
+        cache = CodeCache(capacity=1)
+        calc_hot = make_hot(j, "Main", "calc", threshold=0, cache=cache,
+                            background=True)
+        calc_hot(5, 1)          # task for 5 starts, blocked on the gate
+        calc_hot(6, 1)          # task for 6 starts too
+        calc_hot(5, 2)          # 5 is still in flight: must not re-spawn
+        gate.set()
+        self._drain(calc_hot)
+        # 5's landing may have been evicted by 6 (capacity 1), but each
+        # key compiled exactly once while hot-and-in-flight.
+        assert sorted(compile_calls) == [5, 6]
+        assert calc_hot(5, 3) == expected_calc(5, 3)
+
+
 class TestInvalidation:
     def test_invalidate_all(self):
         j = load(CALC_SRC)
