@@ -23,6 +23,7 @@ from repro.compiler.options import CompileOptions
 from repro.errors import (CompilationError, FreezeError, GuestError,
                           MaterializeError, NoAllocError, ReproError,
                           TaintError, UnrollError)
+from repro.codecache import CompileService, PersistentCodeCache
 from repro.interp.interpreter import Interpreter
 from repro.jit.api import Lancet
 from repro.jit.cache import CodeCache, make_hot, make_jit
@@ -35,6 +36,7 @@ __version__ = "0.1.0"
 __all__ = [
     "Lancet", "Interpreter", "CompileOptions", "CompiledFunction",
     "CodeCache", "make_jit", "make_hot",
+    "PersistentCodeCache", "CompileService",
     "PassManager", "TieredFunction", "TierPolicy", "tier_options",
     "Telemetry", "CompileReport",
     "ReproError", "GuestError", "CompilationError", "FreezeError",

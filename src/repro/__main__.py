@@ -11,7 +11,9 @@ events and export them as JSONL). ``jit`` also accepts ``--analyze``
 (print the JIT lint report — collect-mode IR analysis — to stderr),
 ``--tier`` (fixed Tier 1/2 compile, or ``--tier 0`` to enter through the
 tier ladder), ``--hot-threshold`` and ``--repeat`` (drive promotions);
-the ``--jit-stats`` summary includes the per-tier breakdown.
+the ``--jit-stats`` summary includes the per-tier breakdown. The
+persistent code cache and async compile service are reachable via
+``--cache-dir DIR``, ``--no-persist``, and ``--compile-workers N``.
 
 Arguments are parsed as Python literals (42, 3.5, "text", True).
 """
@@ -35,10 +37,23 @@ def _parse_arg(text):
         return text
 
 
-def _load(path, module):
+def _options_from(args):
+    """Build CompileOptions from the cache/worker flags, when present."""
+    from repro.compiler.options import CompileOptions
+    options = CompileOptions()
+    if getattr(args, "cache_dir", None):
+        options.cache_dir = args.cache_dir
+    if getattr(args, "no_persist", False):
+        options.persist = False
+    if getattr(args, "compile_workers", None):
+        options.compile_workers = args.compile_workers
+    return options
+
+
+def _load(path, module, options=None):
     with open(path) as f:
         source = f.read()
-    jit = Lancet()
+    jit = Lancet(options=options)
     jit.load(source, module=module)
     return jit
 
@@ -78,7 +93,7 @@ def cmd_run(args):
 
 
 def cmd_jit(args):
-    jit = _load(args.program, args.module)
+    jit = _load(args.program, args.module, options=_options_from(args))
     jit.vm._output_mode = "stdout"
     if args.hot_threshold is not None:
         # In-place so the per-VM TierPolicy (which reads jit.options)
@@ -113,7 +128,10 @@ def cmd_jit(args):
                              "source", "# still interpreted (tier 0)")
         print("\n--- generated code ---", file=sys.stderr)
         print(source, file=sys.stderr)
-    return _telemetry_end(jit, args)
+    status = _telemetry_end(jit, args)
+    # Drain the compile-worker pool and flush pending persistent stores.
+    jit.close()
+    return status
 
 
 def cmd_dis(args):
@@ -176,6 +194,15 @@ def main(argv=None):
                    help="print a JSON stats summary to stderr")
     p.add_argument("--trace-jit", metavar="PATH",
                    help="record JIT events; export as JSONL to PATH")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="persistent code cache directory: generated code "
+                        "is stored on exit and reloaded on warm starts")
+    p.add_argument("--no-persist", action="store_true",
+                   help="disable the persistent code cache even when "
+                        "--cache-dir is given")
+    p.add_argument("--compile-workers", type=int, default=0, metavar="N",
+                   help="background compile workers (0 = compile "
+                        "synchronously); tier promotions become async")
     p.set_defaults(handler=cmd_jit)
 
     p = sub.add_parser("dis", help="disassemble compiled bytecode")

@@ -1,0 +1,85 @@
+"""Content fingerprints for persistent cache keys.
+
+A persisted unit may be reused only when *everything* that shaped its
+generated code is unchanged. The fingerprint therefore covers:
+
+* the **guest program** — every loaded class's fields, @stable marks,
+  and method bytecode. The staged compiler inlines and specializes
+  across method boundaries, so the hash is over the whole loaded class
+  set, not just the entry method: sound (any program edit invalidates)
+  at the cost of some precision.
+* the **unit identity** — qualified name, arity, staticness.
+* the **CompileOptions** — every codegen-relevant knob (tier included).
+  Service/cache plumbing fields (``cache_dir``, ``compile_workers``,
+  ``persist``, ``unit_cache``) are excluded: they select machinery, not
+  code shape.
+* the **macro-registry version** — macros rewrite call sites at staging
+  time, changing generated code without changing guest bytecode (see
+  DESIGN.md), so registry churn must miss.
+* the **backend** name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+#: CompileOptions fields that do not influence generated code.
+_NON_CODEGEN_FIELDS = frozenset({
+    "unit_cache", "cache_dir", "persist", "compile_workers",
+    "cache_budget_bytes",
+})
+
+
+def _h(parts):
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8", "backslashreplace"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def program_fingerprint(linker):
+    """Hash the whole loaded class set (sorted, canonical rendering)."""
+    parts = []
+    for name in sorted(linker.classes):
+        rt = linker.classes[name]
+        cf = rt.classfile
+        parts.append("class %s super=%s" % (name, cf.super_name))
+        parts.append("stable=%s" % ",".join(sorted(rt.stable_fields)))
+        for fname in sorted(cf.fields):
+            f = cf.fields[fname]
+            parts.append("field %s val=%r" % (fname, f.is_val))
+        for mname in sorted(cf.methods):
+            m = cf.methods[mname]
+            parts.append("method %s/%d static=%r locals=%d"
+                         % (mname, m.num_params, m.is_static, m.num_locals))
+            for ins in m.code:
+                parts.append("%s %r" % (ins.op.name, ins.arg))
+    return _h(parts)
+
+
+def options_signature(options):
+    """Canonical string of the codegen-relevant CompileOptions fields."""
+    parts = []
+    for field in dataclasses.fields(options):
+        if field.name in _NON_CODEGEN_FIELDS:
+            continue
+        parts.append("%s=%r" % (field.name, getattr(options, field.name)))
+    return ";".join(parts)
+
+
+def macro_fingerprint(registry):
+    return registry.version
+
+
+def unit_fingerprint(jit, method, options, backend="python"):
+    """The persistent-cache key for one static compilation unit."""
+    return _h([
+        "unit %s/%d static=%r" % (method.qualified_name, method.num_params,
+                                  method.is_static),
+        "program %s" % program_fingerprint(jit.vm.linker),
+        "options %s" % options_signature(options),
+        "macros %s" % macro_fingerprint(jit.macros),
+        "backend %s" % backend,
+    ])

@@ -1,0 +1,150 @@
+"""Entry (de)serialization: CompiledFunction <-> JSON payload.
+
+Only *self-contained* units persist. Generated source may reference
+process-private state through three channels, each checked at store
+time; a unit using any of them is reported unpersistable (a
+``codecache.skip`` event, never an error):
+
+* the **statics table** (``K[i]``) — identity-bound live heap objects;
+* **deopt metadata** slots that capture heap state (``static`` /
+  ``virtual`` slot templates, non-primitive constants) — ``live`` slots
+  and primitive constants serialize fine, so guard-carrying units
+  usually persist;
+* **native/kernel bindings** that cannot be re-resolved by name
+  (Delite kernel descriptors are bound by ``id()``).
+
+``stable``-field dependencies (``@stable`` folding) also block
+persistence: the folded value is a snapshot of heap state with no
+runtime guard. ``stable(...)`` *macro* guards are different — they
+re-check at runtime, so they persist, and a failing guard invalidates
+the dependent persistent entry (see ``CompiledFunction.invalidate``).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.deopt import DeoptMeta, FrameTemplate
+
+_PRIMITIVES = (bool, int, float, str)
+
+
+class Unpersistable(Exception):
+    """This unit's generated code depends on process-private state."""
+
+
+# -- metas -> JSON -----------------------------------------------------------
+
+
+def _template_to_json(t):
+    kind = t[0]
+    if kind == "live":
+        return ["live", t[1]]
+    if kind == "const":
+        v = t[1]
+        if v is None or type(v) in _PRIMITIVES:
+            return ["const", v]
+        raise Unpersistable("deopt const of type %s" % type(v).__name__)
+    # "static" and "virtual" slots capture heap objects.
+    raise Unpersistable("deopt slot kind %r" % kind)
+
+
+def _meta_to_json(meta):
+    frames = []
+    for f in meta.frames:
+        if f.method.class_name is None:
+            raise Unpersistable("deopt frame method has no class")
+        frames.append({
+            "cls": f.method.class_name,
+            "method": f.method.name,
+            "bci": f.bci,
+            "locals": [_template_to_json(t) for t in f.locals_t],
+            "stack": [_template_to_json(t) for t in f.stack_t],
+        })
+    return {"frames": frames, "reason": meta.reason, "kind": meta.kind}
+
+
+def _meta_from_json(d, linker):
+    frames = []
+    for fd in d["frames"]:
+        rt = linker.classes.get(fd["cls"])
+        method = rt.lookup_method(fd["method"]) if rt is not None else None
+        if method is None:
+            return None
+        frames.append(FrameTemplate(
+            method, fd["bci"],
+            [tuple(t) for t in fd["locals"]],
+            [tuple(t) for t in fd["stack"]]))
+    return DeoptMeta(frames, reason=d["reason"], kind=d["kind"])
+
+
+# -- entry building ----------------------------------------------------------
+
+
+def build_payload(compiled, fingerprint, options, backend="python"):
+    """Serialize one CompiledFunction to a JSON-safe payload dict.
+
+    Raises :class:`Unpersistable` when the unit depends on
+    process-private state.
+    """
+    result = getattr(compiled, "ir", None)
+    if result is None:
+        raise Unpersistable("no post-pipeline IR attached")
+    if len(result.statics):
+        raise Unpersistable("%d statics-table entries" % len(result.statics))
+    if result.stable_deps:
+        raise Unpersistable("@stable field dependencies")
+    blockers = getattr(compiled, "persist_blockers", None) or []
+    if blockers:
+        raise Unpersistable(", ".join(blockers))
+    natives = sorted(
+        [binding, cls, name]
+        for binding, (cls, name) in
+        getattr(compiled, "native_refs", {}).items())
+    return {
+        "unit": compiled.name,
+        "fingerprint": fingerprint,
+        "tier": getattr(compiled, "tier", options.tier),
+        "backend": backend,
+        "source": compiled.source,
+        "param_names": list(result.param_names),
+        "warnings": [str(w) for w in compiled.warnings],
+        "metas": [_meta_to_json(m) for m in compiled.metas],
+        "natives": natives,
+        "stable_guards": sum(1 for m in compiled.metas
+                             if m.kind == "recompile"),
+    }
+
+
+def rehydrate(payload, jit, recompile=None):
+    """Rebuild a callable CompiledFunction from a cached payload, with
+    zero staging/optimization work. Returns ``None`` when the payload no
+    longer links against this VM (a method or native referenced by the
+    deopt metadata is gone) — the caller treats that as a miss.
+    """
+    from repro.compiler.compiled import CompiledFunction
+    from repro.lms.codegen_py import PyCodegen
+    from repro.lms.staging import _Statics
+    from repro.observability import CompileReport
+    from repro.pipeline.backend import python_runtime_hooks
+
+    metas = []
+    for md in payload["metas"]:
+        meta = _meta_from_json(md, jit.vm.linker)
+        if meta is None:
+            return None
+        metas.append(meta)
+    codegen = PyCodegen(jit.vm, _Statics(), metas)
+    for binding, cls, name in payload["natives"]:
+        if not codegen.bind_native_by_name(binding, cls, name):
+            return None
+    callv, callm, mkcont, osr = python_runtime_hooks(jit, metas)
+    fn = codegen.exec_source(payload["source"], callv, callm, mkcont, osr,
+                             filename="<lancet-cached>")
+    compiled = CompiledFunction(jit, fn, payload["source"], metas,
+                                recompile=recompile, name=payload["unit"],
+                                warnings=payload["warnings"])
+    compiled.tier = payload["tier"]
+    report = CompileReport(name=payload["unit"], tier=payload["tier"])
+    report.phases["codecache_load"] = 0.0   # filled by the store
+    report.warnings = len(payload["warnings"])
+    compiled.report = report
+    return compiled

@@ -1,0 +1,413 @@
+"""The asynchronous CompileService: a bounded background compiler.
+
+Compilation must never block the hot path, and a broken compiler must
+never take execution down with it — the interpreter is always a correct
+fallback. The service enforces both:
+
+* **priority queue** — OSR requests (a loop is burning *now*) beat
+  tier-2 promotions beat tier-1 quick compiles beat speculative
+  prefetch;
+* **in-flight dedup** — a second submission for a queued or running key
+  returns the existing request (the general form of the ``make_hot``
+  in-flight set from PR 3);
+* **backpressure** — the queue is bounded; when full, the lowest-
+  priority queued request is shed to admit higher-priority work, and
+  work at or below the floor is rejected outright. ``submit`` never
+  raises and never blocks;
+* **per-request timeout** — a request not *finished* by its deadline
+  fails for its waiters, and a worker result landing after the deadline
+  is discarded (the completion callback is not run);
+* **retry with backoff** — transient (non-compiler) errors requeue with
+  exponential delay; :class:`~repro.errors.CompilationError` is
+  permanent and fails immediately;
+* **failure blacklisting** — a key that keeps failing is refused at
+  submit time, so a poisoned unit cannot monopolize the workers.
+
+The queue depth is exported as the ``compileq.depth`` gauge; each state
+transition emits a ``compileq.*`` event.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+
+from repro.errors import CompilationError
+
+#: Priorities, best first. Lower value = more urgent.
+PRIORITY_OSR = 0        # a hot loop is waiting mid-execution
+PRIORITY_TIER2 = 1      # tier-2 optimizing promotion
+PRIORITY_TIER1 = 2      # tier-1 quick compile
+PRIORITY_PREFETCH = 3   # speculative warm-up
+
+_PRIORITY_NAMES = {PRIORITY_OSR: "osr", PRIORITY_TIER2: "tier2",
+                   PRIORITY_TIER1: "tier1", PRIORITY_PREFETCH: "prefetch"}
+
+QUEUED, RUNNING, DONE, FAILED, CANCELLED, REJECTED = (
+    "queued", "running", "done", "failed", "cancelled", "rejected")
+
+
+class CompileRequest:
+    """A handle on one submitted compilation. ``wait()`` for the result,
+    ``cancel()`` to drop interest; terminal states: done | failed |
+    cancelled | rejected."""
+
+    def __init__(self, key, fn, priority, on_complete=None, on_error=None,
+                 timeout=None, max_retries=2):
+        self.key = key
+        self.fn = fn
+        self.priority = priority
+        self.on_complete = on_complete
+        self.on_error = on_error
+        self.max_retries = max_retries
+        self.deadline = (time.monotonic() + timeout
+                         if timeout is not None else None)
+        self.state = QUEUED
+        self.result = None
+        self.error = None
+        self.attempts = 0
+        self.not_before = 0.0       # retry backoff gate
+        self._event = threading.Event()
+
+    # -- caller API ------------------------------------------------------------
+
+    @property
+    def rejected(self):
+        return self.state == REJECTED
+
+    @property
+    def finished(self):
+        return self._event.is_set()
+
+    def cancel(self):
+        """Drop interest: a queued request never runs; a running one has
+        its result discarded. Completion callbacks are not invoked."""
+        if not self._event.is_set() or self.state == RUNNING:
+            self.state = CANCELLED
+            self._event.set()
+
+    def wait(self, timeout=None):
+        """Block until the request reaches a terminal state (or
+        ``timeout`` elapses); returns the compiled result or ``None``."""
+        self._event.wait(timeout)
+        return self.result if self.state == DONE else None
+
+    # -- service internals -----------------------------------------------------
+
+    def _finish(self, state, result=None, error=None):
+        self.state = state
+        self.result = result
+        self.error = error
+        self._event.set()
+
+    def __repr__(self):
+        return "<CompileRequest %r %s prio=%s>" % (
+            self.key, self.state, _PRIORITY_NAMES.get(self.priority,
+                                                      self.priority))
+
+
+class CompileService:
+    """A bounded worker pool draining a priority queue of compiles."""
+
+    def __init__(self, workers=1, queue_limit=64, telemetry=None,
+                 max_retries=2, retry_backoff=0.02, blacklist_after=3,
+                 default_timeout=None):
+        self.workers = max(1, workers)
+        self.queue_limit = queue_limit
+        self.telemetry = telemetry
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.blacklist_after = blacklist_after
+        self.default_timeout = default_timeout
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._heap = []             # (priority, seq, request)
+        self._seq = itertools.count()
+        self._inflight = {}         # key -> CompileRequest (queued|running)
+        self._failures = {}         # key -> permanent-failure count
+        self._threads = []
+        self._closed = False
+        self.completed = 0
+        self.failed = 0
+        self.shed = 0
+        self.rejected = 0
+        self.retries = 0
+        self.timeouts = 0
+
+    # -- telemetry -------------------------------------------------------------
+
+    def _event(self, kind, **data):
+        tel = self.telemetry
+        if tel is not None:
+            tel.inc(kind)
+            tel.record(kind, **data)
+
+    def _gauge_depth_locked(self):
+        tel = self.telemetry
+        if tel is not None:
+            tel.set_gauge("compileq.depth", len(self._heap))
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, key, fn, priority=PRIORITY_TIER1, on_complete=None,
+               on_error=None, timeout=None, max_retries=None):
+        """Enqueue ``fn`` (a zero-argument compile callable) under
+        ``key``. Returns a :class:`CompileRequest`; **never raises and
+        never blocks**. Check ``request.rejected`` for backpressure or
+        blacklist refusal — the caller's fallback is the interpreter.
+        """
+        if timeout is None:
+            timeout = self.default_timeout
+        if max_retries is None:
+            max_retries = self.max_retries
+        req = CompileRequest(key, fn, priority, on_complete=on_complete,
+                             on_error=on_error, timeout=timeout,
+                             max_retries=max_retries)
+        with self._cv:
+            if self._closed:
+                req._finish(REJECTED, error="service closed")
+                return req
+            existing = self._inflight.get(key)
+            if existing is not None:
+                # In-flight dedup: one compile per key, everyone shares it.
+                self._event("compileq.dedup", key=repr(key))
+                return existing
+            if self._failures.get(key, 0) >= self.blacklist_after:
+                self.rejected += 1
+                req._finish(REJECTED, error="blacklisted")
+                self._event("compileq.blacklist", key=repr(key),
+                            failures=self._failures[key])
+                return req
+            if (self.queue_limit is not None
+                    and len(self._heap) >= self.queue_limit
+                    and not self._shed_for(priority)):
+                self.rejected += 1
+                req._finish(REJECTED, error="queue full")
+                self._event("compileq.reject", key=repr(key),
+                            priority=_PRIORITY_NAMES.get(priority,
+                                                         priority))
+                return req
+            self._inflight[key] = req
+            heapq.heappush(self._heap, (priority, next(self._seq), req))
+            self._gauge_depth_locked()
+            self._event("compileq.submit", key=repr(key),
+                        priority=_PRIORITY_NAMES.get(priority, priority),
+                        depth=len(self._heap))
+            self._ensure_workers()
+            self._cv.notify()
+        return req
+
+    def _shed_for(self, priority):
+        """Backpressure (caller holds the lock): drop the single lowest-
+        priority queued request iff it is strictly less urgent than the
+        incoming one. Returns True when space was made."""
+        victim_idx = None
+        worst = priority
+        for idx, (prio, _seq, req) in enumerate(self._heap):
+            if req.finished:
+                continue
+            if prio > worst:
+                worst = prio
+                victim_idx = idx
+        if victim_idx is None:
+            return False
+        _prio, _seq, victim = self._heap.pop(victim_idx)
+        heapq.heapify(self._heap)
+        self._inflight.pop(victim.key, None)
+        victim._finish(FAILED, error="shed under backpressure")
+        self.shed += 1
+        self._gauge_depth_locked()
+        self._event("compileq.shed", key=repr(victim.key),
+                    priority=_PRIORITY_NAMES.get(_prio, _prio))
+        return True
+
+    def cancel(self, key):
+        """Cancel the in-flight request for ``key``, if any."""
+        with self._cv:
+            req = self._inflight.pop(key, None)
+        if req is not None:
+            req.cancel()
+        return req
+
+    # -- workers ---------------------------------------------------------------
+
+    def _ensure_workers(self):
+        while len(self._threads) < self.workers:
+            t = threading.Thread(target=self._worker_loop, daemon=True,
+                                 name="lancet-compile-%d"
+                                 % len(self._threads))
+            self._threads.append(t)
+            t.start()
+
+    def _pop_ready_locked(self):
+        """Next runnable request, or (None, wait_seconds)."""
+        now = time.monotonic()
+        delayed = None
+        while self._heap:
+            prio, seq, req = self._heap[0]
+            if req.finished:            # cancelled/shed while queued
+                heapq.heappop(self._heap)
+                self._inflight.pop(req.key, None)
+                continue
+            if req.not_before > now:
+                # Head is backing off; look if anything else is ready.
+                ready = [(p, s, r) for (p, s, r) in self._heap
+                         if r.not_before <= now and not r.finished]
+                if ready:
+                    best = min(ready)
+                    self._heap.remove(best)
+                    heapq.heapify(self._heap)
+                    self._gauge_depth_locked()
+                    return best[2], None
+                delayed = min(r.not_before for (_p, _s, r) in self._heap
+                              if not r.finished) - now
+                return None, max(delayed, 0.001)
+            heapq.heappop(self._heap)
+            self._gauge_depth_locked()
+            return req, None
+        return None, None
+
+    def _worker_loop(self):
+        while True:
+            with self._cv:
+                req, delay = None, None
+                while req is None:
+                    if self._closed:
+                        return
+                    req, delay = self._pop_ready_locked()
+                    if req is None:
+                        self._cv.wait(delay)
+            self._run_one(req)
+
+    def _run_one(self, req):
+        now = time.monotonic()
+        if req.deadline is not None and now > req.deadline:
+            # Expired before a worker could start it.
+            self._finish_failed(req, "timed out in queue", timeout=True)
+            return
+        if req.finished:                # cancelled after pop
+            with self._cv:
+                self._inflight.pop(req.key, None)
+            return
+        req.state = RUNNING
+        req.attempts += 1
+        t0 = time.perf_counter()
+        try:
+            result = req.fn()
+        except CompilationError as exc:
+            self._retry_or_fail(req, exc, permanent=True)
+            return
+        except Exception as exc:
+            self._retry_or_fail(req, exc, permanent=False)
+            return
+        elapsed = time.perf_counter() - t0
+        tel = self.telemetry
+        if tel is not None:
+            tel.observe("compileq.run", elapsed)
+        with self._cv:
+            self._inflight.pop(req.key, None)
+        if req.state == CANCELLED:
+            self._event("compileq.discard", key=repr(req.key),
+                        reason="cancelled")
+            return
+        if req.deadline is not None and time.monotonic() > req.deadline:
+            # Finished, but the caller's deadline passed: the result is
+            # discarded, not installed behind the caller's back.
+            self._finish_failed(req, "deadline exceeded", timeout=True,
+                                already_unlinked=True)
+            return
+        req._finish(DONE, result=result)
+        self.completed += 1
+        self._event("compileq.done", key=repr(req.key), seconds=elapsed,
+                    attempts=req.attempts)
+        if req.on_complete is not None:
+            try:
+                req.on_complete(result)
+            except Exception as exc:         # callbacks must not kill workers
+                self._event("compileq.callback_error", key=repr(req.key),
+                            error=str(exc))
+
+    def _retry_or_fail(self, req, exc, permanent):
+        if not permanent and req.attempts <= req.max_retries:
+            self.retries += 1
+            req.state = QUEUED
+            req.not_before = (time.monotonic()
+                              + self.retry_backoff * (2 ** (req.attempts - 1)))
+            self._event("compileq.retry", key=repr(req.key),
+                        attempt=req.attempts, error=str(exc))
+            with self._cv:
+                heapq.heappush(self._heap,
+                               (req.priority, next(self._seq), req))
+                self._gauge_depth_locked()
+                self._cv.notify()
+            return
+        self._finish_failed(req, str(exc), permanent=permanent)
+
+    def _finish_failed(self, req, error, permanent=True, timeout=False,
+                       already_unlinked=False):
+        if not already_unlinked:
+            with self._cv:
+                self._inflight.pop(req.key, None)
+        if permanent or timeout:
+            with self._cv:
+                n = self._failures.get(req.key, 0) + 1
+                self._failures[req.key] = n
+        self.failed += 1
+        if timeout:
+            self.timeouts += 1
+            self._event("compileq.timeout", key=repr(req.key))
+        else:
+            self._event("compileq.fail", key=repr(req.key), error=error,
+                        attempts=req.attempts)
+        req._finish(FAILED, error=error)
+        if req.on_error is not None:
+            try:
+                req.on_error(error)
+            except Exception as exc:
+                self._event("compileq.callback_error", key=repr(req.key),
+                            error=str(exc))
+
+    # -- lifecycle / stats -----------------------------------------------------
+
+    def forgive(self, key):
+        """Clear a key's failure history (e.g. after the program state
+        that poisoned it changed)."""
+        with self._cv:
+            self._failures.pop(key, None)
+
+    def close(self, wait=True):
+        with self._cv:
+            self._closed = True
+            for _prio, _seq, req in self._heap:
+                self._inflight.pop(req.key, None)
+                if not req.finished:
+                    req._finish(REJECTED, error="service closed")
+            self._heap.clear()
+            self._gauge_depth_locked()
+            self._cv.notify_all()
+        if wait:
+            for t in self._threads:
+                t.join(timeout=2.0)
+
+    def stats(self):
+        with self._cv:
+            depth = len(self._heap)
+            inflight = len(self._inflight)
+            blacklisted = sorted(
+                repr(k) for k, n in self._failures.items()
+                if n >= self.blacklist_after)
+        return {
+            "workers": self.workers,
+            "queue_depth": depth,
+            "queue_limit": self.queue_limit,
+            "in_flight": inflight,
+            "completed": self.completed,
+            "failed": self.failed,
+            "retries": self.retries,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "blacklisted": blacklisted,
+        }

@@ -39,13 +39,24 @@ class CompiledFunction:
         self.invalidated_reason = None
         self.deopt_count = 0
         self.compile_count = 1
+        # Set when this unit was stored in / loaded from the persistent
+        # code cache; invalidation then reaches through to disk.
+        self.persist_key = None
 
     # -- invalidation / recompilation ------------------------------------------
 
     def invalidate(self, reason):
-        """Discard this compiled code; the next call recompiles."""
+        """Discard this compiled code; the next call recompiles. A unit
+        backed by a persistent-cache entry drops that entry too: the
+        reason we are invalid (a stable value changed, a @stable field
+        was written) outlives the process exactly like the entry does."""
         self.valid = False
         self.invalidated_reason = reason
+        if self.persist_key is not None:
+            codecache = getattr(self.jit, "codecache", None)
+            if codecache is not None:
+                codecache.invalidate(self.persist_key, reason=reason)
+            self.persist_key = None
         tel = getattr(self.jit, "telemetry", None)
         if tel is not None:
             tel.inc("invalidations")
@@ -86,7 +97,7 @@ class CompiledFunction:
         tel = getattr(self.jit, "telemetry", None)
         if tel is not None:
             tel.inc("deopts")
-            if meta.reason == "guard":
+            if meta.reason in ("guard", "stable"):
                 tel.inc("guard_failures")
             tel.record("deopt", unit=self.name, kind=kind,
                        reason=meta.reason,

@@ -64,5 +64,20 @@ class CompileOptions:
     # options) in Lancet.unit_cache; off forces a fresh compilation.
     unit_cache: bool = True
 
+    # Persistent code cache (warm starts): a directory for on-disk
+    # entries (None disables persistence), a master switch, and a size
+    # budget enforced by LRU eviction. The REPRO_NO_PERSIST environment
+    # variable overrides `persist` to False (CI's in-memory-only run).
+    cache_dir: str = None
+    persist: bool = True
+    cache_budget_bytes: int = 64 << 20
+
+    # Asynchronous CompileService: > 0 starts that many background
+    # compile workers, and tier promotions / make_hot background
+    # compiles enqueue instead of compiling inline (the hot path keeps
+    # running at the current tier until the result lands). 0 = compile
+    # synchronously (the PR 3 behavior).
+    compile_workers: int = 0
+
     # Treat compilation warnings as errors.
     warnings_as_errors: bool = False

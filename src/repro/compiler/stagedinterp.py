@@ -601,7 +601,7 @@ class StagedInterpreter:
         return meta_id, lives
 
     def emit_guard(self, state, cond_rep, result, kind="interpret",
-                   expect=True):
+                   expect=True, reason="guard"):
         """Emit a guard; ``result`` (a Rep, or a constant) is what the
         intercepted call evaluates to on the deoptimized path."""
         from repro.lms.rep import Rep
@@ -610,7 +610,7 @@ class StagedInterpreter:
         else:
             extra = (("const", result),)
         meta_id, lives = self.snapshot(state, extra_stack=extra, kind=kind,
-                                       reason="guard")
+                                       reason=reason)
         self.guard_count += 1
         self._tel_record("guard.install", kind=kind, expect=expect,
                          method=state.frame.method.qualified_name,

@@ -67,6 +67,25 @@ class Lancet:
         # Tier machinery: unit registry, deopt-driven demotion, and OSR
         # tier-up off interpreter loop back-edges.
         self.tiers = TierController(self)
+        # Persistent code cache (warm starts across processes) and the
+        # asynchronous CompileService; both off by default. Creation is
+        # best-effort: a bad cache dir disables persistence, it never
+        # fails VM construction.
+        import os as _os
+        self.codecache = None
+        if (self.options.cache_dir and self.options.persist
+                and not _os.environ.get("REPRO_NO_PERSIST")):
+            from repro.codecache import PersistentCodeCache
+            self.codecache = PersistentCodeCache(
+                self.options.cache_dir,
+                budget_bytes=self.options.cache_budget_bytes,
+                telemetry=self.telemetry)
+        self.compile_service = None
+        if self.options.compile_workers > 0:
+            from repro.codecache import CompileService
+            self.compile_service = CompileService(
+                workers=self.options.compile_workers,
+                telemetry=self.telemetry)
 
     # -- loading -----------------------------------------------------------------
 
@@ -150,6 +169,32 @@ class Lancet:
         return self.tiers.tiered_function(class_name, method_name,
                                           policy=policy)
 
+    def prefetch(self, class_name, method_name, tier=None):
+        """Warm a unit in the background at the lowest priority: compile
+        (or load from the persistent cache) without blocking the caller.
+        Requires an active CompileService (``compile_workers > 0``);
+        without one this is a no-op returning ``None``."""
+        service = self.compile_service
+        if service is None:
+            return None
+        from repro.codecache.service import PRIORITY_PREFETCH
+        from repro.pipeline.tiers import tier_options
+        opts = (tier_options(self.options, tier)
+                if tier is not None else self.options)
+        return service.submit(
+            ("prefetch", class_name, method_name, opts.tier),
+            lambda: self.compile_function(class_name, method_name,
+                                          options=opts),
+            priority=PRIORITY_PREFETCH)
+
+    def close(self):
+        """Shut down background machinery (compile workers). Safe to
+        call more than once; the VM stays usable (compiles turn
+        synchronous)."""
+        if self.compile_service is not None:
+            self.compile_service.close()
+            self.compile_service = None
+
     # -- internals -------------------------------------------------------------------
 
     def _unit_key(self, method, receiver, options):
@@ -166,6 +211,23 @@ class Lancet:
         if not opts.unit_cache:
             return rebuild()
         key = self._unit_key(method, receiver, opts)
+        # Warm-start path: consult the persistent cache before compiling
+        # anything. Receiver-specialized units are identity-bound to this
+        # process's heap and never persist.
+        if self.codecache is not None and receiver is None:
+            fingerprint = self.codecache.fingerprint(self, method, opts)
+
+            def load_or_build():
+                compiled = self.codecache.load(fingerprint, self,
+                                               recompile=rebuild)
+                if compiled is not None:
+                    self.compile_log.append((compiled.name, compiled))
+                    return compiled
+                compiled = rebuild()
+                self.codecache.store(fingerprint, compiled, opts)
+                return compiled
+
+            return self.unit_cache.get_or_else_update(key, load_or_build)
         return self.unit_cache.get_or_else_update(key, rebuild)
 
     def _initial_scope(self, options):
@@ -387,6 +449,12 @@ class Lancet:
             "timings": tier_timings,
             "units": self.tiers.snapshot(),
         }
+        if self.codecache is not None:
+            codecache = self.codecache.stats()
+        else:
+            codecache = {"enabled": False,
+                         "hits": m.get("codecache.hits"),
+                         "misses": m.get("codecache.misses")}
         return {
             "compiles": m.get("compiles"),
             "compile_seconds": (compile_total or {}).get("total", 0.0),
@@ -402,6 +470,10 @@ class Lancet:
             "deopt_sites": m.get("deopt_sites"),
             "osr_compiles": m.get("osr.compiles"),
             "tiers": tiers,
+            "codecache": codecache,
+            "compile_service": (self.compile_service.stats()
+                                if self.compile_service is not None
+                                else None),
             "invalidations": m.get("invalidations"),
             "inlines": m.get("inlines"),
             "residual_calls": m.get("residual_calls"),

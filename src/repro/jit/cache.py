@@ -14,6 +14,7 @@ profile-driven compilation ("only after a certain value becomes hot").
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.bytecode.builder import MethodBuilder
@@ -23,10 +24,23 @@ from repro.runtime.objects import new_instance
 
 
 class CodeCache:
-    """An LRU code cache with a pluggable eviction hook.
+    """A thread-safe LRU code cache with a pluggable eviction hook.
 
     "We could easily extend our cache with a custom eviction policy" — so
     the policy is a constructor argument: ``on_evict(key, compiled)``.
+
+    Background compile workers mutate the cache concurrently with the
+    hot path, so every mutation happens under a lock, and two extra
+    mechanisms keep asynchronous completion honest:
+
+    * :meth:`get_or_else_update` is *single-flight*: when several threads
+      miss the same key at once, one compiles and the rest wait for its
+      result instead of compiling duplicates.
+    * each key has a *generation*, bumped whenever the key is evicted,
+      removed, or flushed. A background compile captures
+      ``generation(key)`` when it starts and lands its result with
+      :meth:`put_if`; a stale result (the key was evicted or the cache
+      flushed mid-compile) is discarded instead of being re-inserted.
     """
 
     def __init__(self, capacity=None, on_evict=None, telemetry=None,
@@ -36,12 +50,17 @@ class CodeCache:
         self.telemetry = telemetry
         self.name = name
         self._entries = OrderedDict()
+        self._lock = threading.RLock()
+        self._gen = {}              # key -> generation (only ever-bumped keys)
+        self._pending = {}          # key -> (Event, leader thread ident)
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.stale_discards = 0
 
     _EVENT_KIND = {"hits": "cache.hit", "misses": "cache.miss",
-                   "evictions": "cache.evict"}
+                   "evictions": "cache.evict",
+                   "stale_discards": "cache.stale_discard"}
 
     def _count(self, what, **data):
         tel = self.telemetry
@@ -50,45 +69,153 @@ class CodeCache:
             tel.inc("cache.%s.%s" % (self.name, what))
             tel.record(self._EVENT_KIND[what], cache=self.name, **data)
 
-    def get(self, key):
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            self._count("hits", key=repr(key), size=len(self._entries))
-        else:
-            self.misses += 1
-            self._count("misses", key=repr(key), size=len(self._entries))
-        return entry
+    # -- generations -----------------------------------------------------------
 
-    def put(self, key, compiled):
+    def generation(self, key):
+        """The key's current generation; capture before a background
+        compile and pass to :meth:`put_if` when landing the result."""
+        with self._lock:
+            return self._gen.get(key, 0)
+
+    def _bump(self, key):
+        self._gen[key] = self._gen.get(key, 0) + 1
+
+    # -- probes ----------------------------------------------------------------
+
+    def peek(self, key):
+        """Read without counting a hit/miss or refreshing LRU order."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def get(self, key):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                self._count("hits", key=repr(key), size=len(self._entries))
+            else:
+                self.misses += 1
+                self._count("misses", key=repr(key),
+                            size=len(self._entries))
+            return entry
+
+    # -- mutation --------------------------------------------------------------
+
+    def _put_locked(self, key, compiled):
+        """Insert under the lock; returns evicted (key, value) pairs so
+        ``on_evict`` callbacks run outside the lock (they may re-enter)."""
         self._entries[key] = compiled
         self._entries.move_to_end(key)
-        if self.capacity is not None and len(self._entries) > self.capacity:
+        evicted = []
+        while (self.capacity is not None
+               and len(self._entries) > self.capacity):
             old_key, old = self._entries.popitem(last=False)
+            self._bump(old_key)
             self.evictions += 1
             self._count("evictions", key=repr(old_key),
                         size=len(self._entries))
-            if self.on_evict is not None:
+            evicted.append((old_key, old))
+        return evicted
+
+    def _run_evictions(self, evicted):
+        if self.on_evict is not None:
+            for old_key, old in evicted:
                 self.on_evict(old_key, old)
+
+    def put(self, key, compiled):
+        with self._lock:
+            evicted = self._put_locked(key, compiled)
+        self._run_evictions(evicted)
+        return compiled
+
+    def put_if(self, key, compiled, generation):
+        """Insert only if the key's generation still matches — the landing
+        half of a background compile. Returns the inserted value, or
+        ``None`` when the result went stale (key evicted/removed/flushed
+        since ``generation`` was captured) and was discarded."""
+        with self._lock:
+            if self._gen.get(key, 0) != generation:
+                self.stale_discards += 1
+                self._count("stale_discards", key=repr(key))
+                return None
+            evicted = self._put_locked(key, compiled)
+        self._run_evictions(evicted)
         return compiled
 
     def get_or_else_update(self, key, compile_fn):
-        entry = self.get(key)
-        if entry is None:
-            entry = self.put(key, compile_fn())
-        return entry
+        """Single-flight memoization: concurrent misses for one key run
+        ``compile_fn`` exactly once; the other threads block on the
+        leader's result. A failing leader propagates its exception and
+        releases the waiters to retry."""
+        me = threading.get_ident()
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    self._count("hits", key=repr(key),
+                                size=len(self._entries))
+                    return entry
+                pending = self._pending.get(key)
+                if pending is None:
+                    event = threading.Event()
+                    self._pending[key] = (event, me)
+                    leader = True
+                    gen = self._gen.get(key, 0)
+                    self.misses += 1
+                    self._count("misses", key=repr(key),
+                                size=len(self._entries))
+                elif pending[1] == me:
+                    # Re-entrant compile from the leader thread itself
+                    # (e.g. a recompile inside compile_fn): run inline
+                    # rather than deadlocking on our own event.
+                    leader = True
+                    event = None
+                    gen = self._gen.get(key, 0)
+                else:
+                    leader = False
+                    event = pending[0]
+            if not leader:
+                event.wait()
+                continue        # leader finished (or failed): re-probe
+            try:
+                value = compile_fn()
+            finally:
+                if event is not None:
+                    with self._lock:
+                        self._pending.pop(key, None)
+                    event.set()
+            # Land through the generation check: a flush/remove racing
+            # this compile means the result must not be cached (it is
+            # still returned — correct for this call, wrong to keep).
+            self.put_if(key, value, gen)
+            return value
 
     def remove(self, key):
         """Drop one entry without invalidating it (tier transitions
-        *replace* a unit's entry rather than accumulating one per tier)."""
-        return self._entries.pop(key, None)
+        *replace* a unit's entry rather than accumulating one per tier).
+        Always bumps the key's generation — even when the key is absent,
+        because that is exactly the background-compile window (the miss
+        is why a compile is in flight) and the in-flight result must not
+        re-insert what this call is dropping."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            self._bump(key)
+            return entry
 
     def invalidate_all(self, reason="cache flush"):
-        n = len(self._entries)
-        for compiled in self._entries.values():
+        with self._lock:
+            victims = list(self._entries.values())
+            n = len(victims)
+            # Bump in-flight (pending) keys too: a compile racing the
+            # flush must not land a pre-flush result afterwards.
+            for key in set(self._entries) | set(self._pending):
+                self._bump(key)
+            self._entries.clear()
+        for compiled in victims:
             compiled.invalidate(reason)
-        self._entries.clear()
         tel = self.telemetry
         if tel is not None:
             tel.inc("cache.flushes")
@@ -96,10 +223,12 @@ class CodeCache:
                        reason=reason)
 
     def __len__(self):
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key):
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
 
 _SYNTH_COUNTER = [0]
@@ -149,7 +278,7 @@ def make_jit(jit, class_name, method_name, cache=None):
 
 
 def make_hot(jit, class_name, method_name, threshold=2, cache=None,
-             background=False, tiered=False):
+             background=False, tiered=False, service=None):
     """Like :func:`make_jit`, but only compiles a variant after its first
     argument has been seen ``threshold`` times; colder values run in the
     interpreter (amortizing compilation cost, paper's ``calcHOT``).
@@ -160,7 +289,12 @@ def make_hot(jit, class_name, method_name, threshold=2, cache=None,
     until the compiled variant lands in the cache. Compilation kick-off
     is guarded by an in-flight set under a lock, so a variant is compiled
     exactly once even when the threshold crossing races another caller or
-    an LRU eviction re-triggers the hot path.
+    an LRU eviction re-triggers the hot path. Results land through
+    :meth:`CodeCache.put_if`, so a compile whose key was evicted or
+    flushed mid-flight is discarded instead of re-inserted. Passing a
+    :class:`~repro.codecache.CompileService` as ``service`` routes the
+    background compiles through its shared priority-queue worker pool
+    instead of spawning one ad-hoc thread per variant.
 
     With ``tiered=True``, hot variants ride the tier ladder instead of
     compiling at full strength immediately: the ``threshold``-th sighting
@@ -208,21 +342,44 @@ def make_hot(jit, class_name, method_name, threshold=2, cache=None,
         if x in in_flight:
             return
         in_flight.add(x)
+        gen = jitted.cache.generation(x)
+
+        def _land(compiled):
+            # put_if: if the key was evicted/removed/flushed while we
+            # compiled, the result is stale — drop it, don't re-insert.
+            jitted.cache.put_if(x, compiled, gen)
+
+        def _finish():
+            with lock:
+                in_flight.discard(x)
+                pending.pop(x, None)
+
+        if service is not None:
+            from repro.codecache.service import PRIORITY_TIER1
+            req = service.submit(
+                ("hot", class_name, method_name, x),
+                lambda: compile_variant(x),
+                priority=PRIORITY_TIER1,
+                on_complete=lambda compiled: (_land(compiled), _finish()),
+                on_error=lambda exc: _finish())
+            if req.rejected:     # saturated/blacklisted: stay interpreted
+                _finish()
+            else:
+                pending[x] = req
+            return
 
         def task():
             try:
-                jitted.cache.put(x, compile_variant(x))
+                _land(compile_variant(x))
             finally:
-                with lock:
-                    in_flight.discard(x)
-                    pending.pop(x, None)
+                _finish()
 
         worker = threading.Thread(target=task, daemon=True)
         pending[x] = worker
         worker.start()
 
     def call(x, y):
-        compiled = jitted.cache._entries.get(x)
+        compiled = jitted.cache.peek(x)
         if compiled is not None:
             jitted.cache.get(x)   # count the hit, refresh LRU order
             if tiered:

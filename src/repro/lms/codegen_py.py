@@ -51,6 +51,8 @@ class PyCodegen:
         self.metas = metas
         self.fn_name = fn_name
         self._native_bindings = {}   # binding name -> callable
+        self.native_refs = {}        # binding name -> (class, native name)
+        self.persist_blockers = []   # why this source can't be persisted
 
     # -- value rendering -------------------------------------------------------
 
@@ -75,7 +77,19 @@ class PyCodegen:
     def _bind_native(self, nat):
         name = "n_%s_%s" % (nat.class_name, nat.name)
         self._native_bindings[name] = nat.fn
+        self.native_refs[name] = (nat.class_name, nat.name)
         return name
+
+    def bind_native_by_name(self, binding, class_name, native_name):
+        """Re-resolve a recorded native binding (persistent-cache reload).
+        Returns False when the native no longer exists."""
+        from repro.runtime.natives import lookup_native
+        nat = lookup_native(class_name, native_name)
+        if nat is None:
+            return False
+        self._native_bindings[binding] = nat.fn
+        self.native_refs[binding] = (class_name, native_name)
+        return True
 
     # -- statement rendering --------------------------------------------------------
 
@@ -139,6 +153,9 @@ class PyCodegen:
             desc = args[0]
             binding = "dop_%d" % id(desc)
             self._native_bindings[binding] = desc
+            # Kernel descriptors are live host objects bound by identity;
+            # the rendered source is process-private.
+            self.persist_blockers.append("delite kernel binding")
             rendered = ", ".join(r(a) for a in args[1:])
             return "%s = _drun(%s, %s)" % (target, binding, rendered)
         if op == "native":
@@ -257,10 +274,18 @@ class PyCodegen:
                         lines.append("            " + ln)
 
         source = "\n".join(lines) + "\n"
+        return self.exec_source(source, callv, callm, mkcont, osr), source
+
+    def exec_source(self, source, callv, callm, mkcont, osr,
+                    filename="<lancet-compiled>"):
+        """Compile already-rendered source against this codegen's
+        namespace (statics, natives, runtime hooks). This is the reload
+        half of the persistent code cache: cached source re-enters here
+        without any staging."""
         namespace = self._namespace(callv, callm, mkcont, osr)
-        code = compile(source, "<lancet-compiled>", "exec")
+        code = compile(source, filename, "exec")
         exec(code, namespace)
-        return namespace[self.fn_name], source
+        return namespace[self.fn_name]
 
     def _namespace(self, callv, callm, mkcont, osr):
         import math as _math

@@ -17,9 +17,15 @@ class MacroRegistry:
     def __init__(self):
         self._macros = {}   # (class_name, method_name) -> fn
         self.telemetry = None
+        # Monotonic mutation counter: every install/uninstall bumps it,
+        # including re-installing an existing key with a different fn
+        # (macros change generated code without changing guest bytecode,
+        # so the persistent code cache keys entries on this version).
+        self._version = 0
 
     def install(self, class_name, method_name, fn):
         self._macros[(class_name, method_name)] = fn
+        self._version += 1
         if self.telemetry is not None:
             self.telemetry.record("macro.install",
                                   target="%s.%s" % (class_name, method_name))
@@ -35,7 +41,17 @@ class MacroRegistry:
                 self.install(class_name, name, fn)
 
     def uninstall(self, class_name, method_name):
-        self._macros.pop((class_name, method_name), None)
+        if self._macros.pop((class_name, method_name), None) is not None:
+            self._version += 1
+
+    @property
+    def version(self):
+        """A string naming the registry's state for cache fingerprints:
+        the mutation count plus the sorted installed-macro key set. Two
+        VMs that performed the same installs in the same order agree;
+        any churn (even fn replacement under an existing key) differs."""
+        keys = ";".join("%s.%s" % k for k in sorted(self._macros))
+        return "%d:%s" % (self._version, keys)
 
     def lookup_static(self, class_name, method_name):
         return self._macros.get((class_name, method_name))

@@ -53,7 +53,11 @@ def stable(ctx, recv, args):
             # The dynamic read folded, too — no guard needed.
             return machine.ctx.lift(machine.static_value(state, x_rep))
         eq = machine._binop(state, "eq", x_rep, lifted)
-        machine.emit_guard(state, eq, result=x_rep, kind="recompile")
+        # reason="stable" flows into the deopt meta and from there into
+        # the invalidation reason — a persistent-cache entry dropped by
+        # this guard records *why* it is gone.
+        machine.emit_guard(state, eq, result=x_rep, kind="recompile",
+                           reason="stable")
         return lifted
 
     return ctx.fun_r(thunk, [], on_return=after)

@@ -35,6 +35,14 @@ Event kinds emitted by the built-in instrumentation::
     pass.run                 (one PassManager pass: timing, CFG deltas)
     tier.promote / tier.demote   (tier-ladder transitions, with tiers)
     osr.tier_up              (hot loop back-edge tiered up mid-execution)
+    codecache.hit / codecache.miss   (persistent-cache warm/cold lookups)
+    codecache.store / codecache.skip (entry persisted / unpersistable)
+    codecache.quarantine     (corrupt on-disk entry sidelined, clean miss)
+    codecache.evict / codecache.invalidate  (size-budget LRU, stale code)
+    compileq.submit / compileq.done / compileq.shed / compileq.retry
+    compileq.fail / compileq.timeout / compileq.blacklist
+                             (asynchronous CompileService lifecycle; the
+                             queue depth is the ``compileq.depth`` gauge)
 """
 
 from __future__ import annotations
@@ -85,6 +93,9 @@ class Telemetry:
 
     def observe(self, name, seconds):
         self.metrics.observe(name, seconds)
+
+    def set_gauge(self, name, value):
+        self.metrics.set_gauge(name, value)
 
     # -- convenience -----------------------------------------------------------
 

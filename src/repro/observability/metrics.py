@@ -18,6 +18,7 @@ class Metrics:
     def __init__(self):
         self.counters = Counter()
         self._timings = {}          # name -> [count, total, min, max]
+        self._gauges = {}           # name -> [current, high-water mark]
 
     # -- counters -------------------------------------------------------------
 
@@ -26,6 +27,28 @@ class Metrics:
 
     def get(self, name):
         return self.counters.get(name, 0)
+
+    # -- gauges ---------------------------------------------------------------
+
+    def set_gauge(self, name, value):
+        """Set a point-in-time level (e.g. compile-queue depth), keeping
+        its high-water mark."""
+        entry = self._gauges.get(name)
+        if entry is None:
+            self._gauges[name] = [value, value]
+        else:
+            entry[0] = value
+            if value > entry[1]:
+                entry[1] = value
+
+    def gauge(self, name):
+        entry = self._gauges.get(name)
+        if entry is None:
+            return None
+        return {"value": entry[0], "max": entry[1]}
+
+    def gauges(self):
+        return {name: self.gauge(name) for name in self._gauges}
 
     # -- timings --------------------------------------------------------------
 
@@ -55,8 +78,10 @@ class Metrics:
     # -- lifecycle ------------------------------------------------------------
 
     def snapshot(self):
-        return {"counters": dict(self.counters), "timings": self.timings()}
+        return {"counters": dict(self.counters), "timings": self.timings(),
+                "gauges": self.gauges()}
 
     def reset(self):
         self.counters.clear()
         self._timings.clear()
+        self._gauges.clear()

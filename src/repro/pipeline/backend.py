@@ -50,6 +50,30 @@ class Backend(abc.ABC):
         source text for JS, an expression string for SQL."""
 
 
+def python_runtime_hooks(jit, metas):
+    """The four runtime re-entry closures every generated Python unit
+    links against (virtual/method calls back into the interpreter,
+    continuation reification, OSR recompilation). Shared by the fresh
+    codegen path and the persistent-cache reload path."""
+    from repro.compiler.compiled import ContinuationClosure
+
+    vm = jit.vm
+
+    def callv(recv, mname, args):
+        return vm.call_virtual(recv, mname, args)
+
+    def callm(method, recv, args):
+        return vm.invoke_method(method, recv, args)
+
+    def mkcont(meta_id, lives):
+        return ContinuationClosure(vm, metas[meta_id], list(lives))
+
+    def osr(meta_id, lives):
+        return jit._osr_execute(metas[meta_id], lives)
+
+    return callv, callm, mkcont, osr
+
+
 class PythonBackend(Backend):
     """The execution backend: renders the CFG to Python source, compiles
     it with ``exec``, and wraps it with guard/deopt handling."""
@@ -59,27 +83,14 @@ class PythonBackend(Backend):
     def emit(self, unit, **kwargs):
         import time
 
-        from repro.compiler.compiled import (CompiledFunction,
-                                             ContinuationClosure)
+        from repro.compiler.compiled import CompiledFunction
         from repro.lms.codegen_py import PyCodegen
 
         jit = unit.jit
-        vm = jit.vm
         result = unit.result
         metas = result.metas
-        codegen = PyCodegen(vm, result.statics, metas)
-
-        def callv(recv, mname, args):
-            return vm.call_virtual(recv, mname, args)
-
-        def callm(method, recv, args):
-            return vm.invoke_method(method, recv, args)
-
-        def mkcont(meta_id, lives):
-            return ContinuationClosure(vm, metas[meta_id], list(lives))
-
-        def osr(meta_id, lives):
-            return jit._osr_execute(metas[meta_id], lives)
+        codegen = PyCodegen(jit.vm, result.statics, metas)
+        callv, callm, mkcont, osr = python_runtime_hooks(jit, metas)
 
         t0 = time.perf_counter()
         fn, source = codegen.generate(result.blocks, result.entry_bid,
@@ -96,6 +107,11 @@ class PythonBackend(Backend):
                                     name=unit.name,
                                     warnings=result.warnings)
         compiled.ir = result   # post-pipeline IR, for introspection
+        # Persistence bookkeeping: which natives the source links against
+        # (re-resolved by name on reload) and anything process-private
+        # that makes the source non-persistable.
+        compiled.native_refs = dict(codegen.native_refs)
+        compiled.persist_blockers = list(codegen.persist_blockers)
         return compiled
 
 

@@ -113,6 +113,11 @@ class TieredFunction:
         self.max_tier = TIER2      # lowered by demotion: no ping-pong
         self.blacklisted = False
         self._cache_key = None     # unit-cache key of the current entry
+        # Asynchronous promotion state: the tier a queued background
+        # compile targets, and a generation counter that demotion bumps
+        # so an in-flight result landing late is ignored, not installed.
+        self._pending_tier = None
+        self._promotion_gen = 0
         jit.tiers.register(self)
 
     # -- counters --------------------------------------------------------------
@@ -126,32 +131,94 @@ class TieredFunction:
 
     # -- tier transitions ------------------------------------------------------
 
-    def _compile_at(self, tier):
+    def _build(self, tier):
+        """Compile this unit at ``tier`` without installing it (the
+        background half of an asynchronous promotion)."""
         jit = self.jit
         opts = self.policy.options_for(tier, base=jit.options)
         compiled = jit.compile_function(self.class_name, self.method_name,
                                         options=opts)
         compiled.tiered_owner = self
+        return compiled
+
+    def _adopt(self, tier, compiled):
+        """Make ``compiled`` this unit's active code, replacing the old
+        tier's unit-cache entry instead of accumulating one per tier."""
+        jit = self.jit
+        opts = self.policy.options_for(tier, base=jit.options)
         old_key = self._cache_key
         new_key = jit._unit_key(self.method, None, opts)
         if old_key is not None and old_key != new_key:
-            # Promotion/demotion replaces the unit's entry instead of
-            # accumulating one per tier.
             jit.unit_cache.remove(old_key)
         self._cache_key = new_key
         self.compiled = compiled
         return compiled
 
+    def _compile_at(self, tier):
+        return self._adopt(tier, self._build(tier))
+
     def _promote(self, to_tier):
         from_tier = self.tier
         self._compile_at(to_tier)
+        self._install(from_tier, to_tier, background=False)
+
+    def _install(self, from_tier, to_tier, background):
         self.tier = to_tier
         self.failures = 0
+        self._pending_tier = None
         tel = self.jit.telemetry
         tel.inc("tier.promotions")
         tel.record("tier.promote", unit=self.qualified_name,
                    from_tier=from_tier, to_tier=to_tier,
-                   calls=self._observed_calls())
+                   calls=self._observed_calls(), background=background)
+
+    def _request_promotion(self, to_tier, service, priority=None):
+        """Enqueue the promotion compile on the CompileService; execution
+        keeps running at the current tier until the result lands. The
+        generation check makes a demotion (or blacklist) that happened
+        mid-compile win over the stale result. ``priority`` defaults by
+        target tier; OSR passes ``PRIORITY_OSR`` (a loop is hot *now*)."""
+        if self._pending_tier is not None and self._pending_tier >= to_tier:
+            return
+        from repro.codecache.service import PRIORITY_TIER1, PRIORITY_TIER2
+        if priority is None:
+            priority = (PRIORITY_TIER2 if to_tier >= TIER2
+                        else PRIORITY_TIER1)
+        self._pending_tier = to_tier
+        gen = self._promotion_gen
+        from_tier = self.tier
+
+        def install(compiled):
+            if (self._promotion_gen != gen or self.blacklisted
+                    or to_tier > self.max_tier):
+                # Demoted/blacklisted while we compiled: the result is
+                # stale — drop it (and its unit-cache entry), keep the
+                # interpreter/current tier.
+                opts = self.policy.options_for(to_tier,
+                                               base=self.jit.options)
+                self.jit.unit_cache.remove(
+                    self.jit._unit_key(self.method, None, opts))
+                self.jit.telemetry.inc("tier.promotions_discarded")
+                self.jit.telemetry.record(
+                    "tier.promote_discarded", unit=self.qualified_name,
+                    to_tier=to_tier)
+                return
+            self._adopt(to_tier, compiled)
+            self._install(from_tier, to_tier, background=True)
+
+        def clear(error):
+            if self._pending_tier == to_tier:
+                self._pending_tier = None
+
+        req = service.submit(
+            ("promote", self.qualified_name, to_tier),
+            lambda: self._build(to_tier),
+            priority=priority,
+            on_complete=install, on_error=clear)
+        if req.rejected:
+            # Saturated or blacklisted service: degrade gracefully, stay
+            # at the current tier and try again on a later call.
+            self._pending_tier = None
 
     def demote(self, reason="deopt budget exhausted"):
         """Drop one tier; from Tier 1 this blacklists to the interpreter.
@@ -159,6 +226,14 @@ class TieredFunction:
         immediately re-promote the unit (no tier ping-pong)."""
         from_tier = self.tier
         tel = self.jit.telemetry
+        # Any in-flight background promotion is now stale: ignore its
+        # result when it lands (and cancel it if still queued).
+        self._promotion_gen += 1
+        self._pending_tier = None
+        service = self.jit.compile_service
+        if service is not None:
+            for target in (TIER1, TIER2):
+                service.cancel(("promote", self.qualified_name, target))
         if from_tier >= TIER2:
             self.tier = TIER1
             self.max_tier = TIER1
@@ -192,9 +267,17 @@ class TieredFunction:
                                                self._observed_calls()),
                          self.max_tier)
             if target > self.tier:
-                self._promote(target)
-        if self.compiled is not None:
-            return self.compiled(*args)
+                service = self.jit.compile_service
+                if service is not None:
+                    # Asynchronous promotion: enqueue and keep executing
+                    # at the current tier; the compile never blocks the
+                    # hot path.
+                    self._request_promotion(target, service)
+                else:
+                    self._promote(target)
+        compiled = self.compiled
+        if compiled is not None:
+            return compiled(*args)
         return self.jit.vm.call(self.class_name, self.method_name,
                                 list(args))
 
@@ -258,6 +341,18 @@ class TierController:
         if count < self.policy.osr_threshold:
             return None
 
+        service = self.jit.compile_service
+        if service is not None:
+            # Asynchronous mode: never stall the loop for a compile.
+            # Enqueue a top-priority promotion of the owning unit; this
+            # iteration keeps interpreting and the *next call* (or a
+            # later back-edge, once the compile lands) runs compiled.
+            if owner.tier < TIER2:
+                from repro.codecache.service import PRIORITY_OSR
+                owner._request_promotion(TIER2, service,
+                                         priority=PRIORITY_OSR)
+            return None
+
         from repro.errors import CompilationError
 
         frames = []
@@ -296,6 +391,7 @@ class TierController:
         """Tier state of every registered unit (for ``Lancet.stats()``)."""
         return {
             name: {"tier": u.tier, "calls": u.calls,
-                   "failures": u.failures, "blacklisted": u.blacklisted}
+                   "failures": u.failures, "blacklisted": u.blacklisted,
+                   "pending_tier": u._pending_tier}
             for name, u in self._units.items()
         }

@@ -250,3 +250,147 @@ class TestCacheTelemetry:
         second = j.compile_function("Main", "calc", options=opts)
         assert first is not second
         assert j.telemetry.metrics.get("compiles") == 2
+
+
+class TestThreadSafety:
+    """Regression tests for the thread-safe cache: background compile
+    workers mutate the cache concurrently with the hot path."""
+
+    def test_concurrent_get_or_else_update_single_flight(self):
+        import threading
+        import time
+
+        c = CodeCache()
+        compiles = {k: [] for k in range(4)}
+        results = []
+        start = threading.Barrier(16)
+
+        def compile_for(k):
+            compiles[k].append(threading.get_ident())
+            time.sleep(0.01)            # widen the race window
+            return "code-%d" % k
+
+        def worker(k):
+            start.wait()
+            results.append((k, c.get_or_else_update(
+                k, lambda: compile_for(k))))
+
+        threads = [threading.Thread(target=worker, args=(k % 4,))
+                   for k in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Exactly one compile per key; every caller saw that one value.
+        for k in range(4):
+            assert len(compiles[k]) == 1, compiles
+        for k, value in results:
+            assert value == "code-%d" % k
+        assert c.misses == 4
+        assert c.hits == 12
+
+    def test_failing_leader_releases_waiters(self):
+        import threading
+
+        c = CodeCache()
+        gate = threading.Event()
+        outcomes = []
+
+        def bad():
+            gate.wait(5.0)
+            raise RuntimeError("compiler exploded")
+
+        def leader():
+            try:
+                c.get_or_else_update("k", bad)
+            except RuntimeError as e:
+                outcomes.append(("leader", str(e)))
+
+        t = threading.Thread(target=leader)
+        t.start()
+        while "k" not in c._pending:      # leader inside the compile
+            pass
+        follower = threading.Thread(
+            target=lambda: outcomes.append(
+                ("follower", c.get_or_else_update("k", lambda: "retry"))))
+        follower.start()
+        gate.set()
+        t.join()
+        follower.join()
+        # Leader propagated its error; the follower retried and won.
+        assert ("leader", "compiler exploded") in outcomes
+        assert ("follower", "retry") in outcomes
+
+
+class TestEvictionInFlightInterplay:
+    """An evicted/removed/flushed key must not be resurrected by a
+    background compile that started before the eviction (the result is
+    stale: it may bake in state the eviction was reacting to)."""
+
+    def test_put_if_discards_after_remove(self):
+        c = CodeCache()
+        c.put("k", "v1")
+        gen = c.generation("k")
+        c.remove("k")                     # in-flight compile now stale
+        assert c.put_if("k", "stale", gen) is None
+        assert "k" not in c
+        assert c.stale_discards == 1
+        # A compile started *after* the removal lands fine.
+        assert c.put_if("k", "fresh", c.generation("k")) == "fresh"
+        assert c.peek("k") == "fresh"
+
+    def test_put_if_discards_after_capacity_eviction(self):
+        c = CodeCache(capacity=1)
+        c.put("a", "va")
+        gen = c.generation("a")
+        c.put("b", "vb")                  # evicts a, bumps its generation
+        assert c.put_if("a", "stale-a", gen) is None
+        assert "a" not in c
+
+    def test_put_if_discards_after_flush(self):
+        class FakeCompiled:
+            def invalidate(self, reason):
+                self.reason = reason
+
+        c = CodeCache()
+        v = FakeCompiled()
+        c.put("k", v)
+        gen = c.generation("k")
+        c.invalidate_all()
+        assert v.reason == "cache flush"
+        assert c.put_if("k", FakeCompiled(), gen) is None
+        assert len(c) == 0
+
+    def test_make_hot_background_result_discarded_after_eviction(self):
+        """End-to-end: a hot value's background compile completes after
+        the cache evicted (capacity pressure) that value's key — the
+        stale CompiledFunction must not be re-inserted."""
+        import threading
+
+        j = load(CALC_SRC)
+        release = threading.Event()
+        cache = CodeCache(capacity=8)
+        orig = j.compile_closure
+
+        def slow_compile(*a, **kw):
+            release.wait(5.0)
+            return orig(*a, **kw)
+
+        j.compile_closure = slow_compile
+        calc_hot = make_hot(j, "Main", "calc", threshold=1,
+                            cache=cache, background=True)
+        calc_hot(5, 1)
+        calc_hot(5, 2)                    # crosses threshold -> spawn
+        while not calc_hot.in_flight:
+            pass
+        workers = list(calc_hot.pending.values())
+        cache.remove(5)                   # evicted while compiling
+        release.set()
+        for t in workers:
+            t.join(5.0)
+        while calc_hot.in_flight:         # _finish runs after put_if
+            pass
+        assert 5 not in cache             # stale result discarded
+        assert cache.stale_discards == 1
+        j.compile_closure = orig
+        assert calc_hot(5, 3) == expected_calc(5, 3)

@@ -59,3 +59,51 @@ def test_string_args_pass_through(tmp_path, capsys):
     path.write_text('def shout(s) { return s + "!"; }')
     assert main(["run", str(path), "shout", "hey"]) == 0
     assert "hey!" in capsys.readouterr().out
+
+
+# -- persistent cache / compile service flags ---------------------------------
+
+def _jit_stats(capsys):
+    import json
+    err = capsys.readouterr().err
+    return json.loads(err[err.index("{"):])
+
+
+def test_jit_cache_dir_cold_then_warm(program, capsys, tmp_path,
+                                      monkeypatch):
+    monkeypatch.delenv("REPRO_NO_PERSIST", raising=False)
+    cache = str(tmp_path / "cc")
+    assert main(["jit", program, "square", "6", "--cache-dir", cache,
+                 "--jit-stats"]) == 0
+    cold = _jit_stats(capsys)
+    assert cold["codecache"]["enabled"] is True
+    assert cold["codecache"]["stores"] == 1
+    assert cold["compiles"] == 1
+
+    assert main(["jit", program, "square", "6", "--cache-dir", cache,
+                 "--jit-stats"]) == 0
+    warm = _jit_stats(capsys)
+    assert warm["codecache"]["hits"] == 1
+    assert warm["compiles"] == 0
+
+
+def test_jit_no_persist_flag(program, capsys, tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_NO_PERSIST", raising=False)
+    import os
+    cache = str(tmp_path / "cc")
+    assert main(["jit", program, "square", "6", "--cache-dir", cache,
+                 "--no-persist", "--jit-stats"]) == 0
+    stats = _jit_stats(capsys)
+    assert stats["codecache"]["enabled"] is False
+    assert not os.path.exists(cache)
+
+
+def test_jit_compile_workers_flag(program, capsys):
+    assert main(["jit", program, "square", "6", "--compile-workers", "2",
+                 "--tier", "0", "--hot-threshold", "1", "--repeat", "8",
+                 "--jit-stats"]) == 0
+    captured = capsys.readouterr()
+    assert "36" in captured.out
+    import json
+    stats = json.loads(captured.err[captured.err.index("{"):])
+    assert stats["compile_service"]["workers"] == 2

@@ -1,0 +1,542 @@
+"""The persistent code cache and asynchronous CompileService.
+
+In-process tests cover the on-disk store (round trips, fingerprint
+sensitivity, corruption quarantine, budget eviction, invalidation) and
+the CompileService queue semantics (priorities, dedup, backpressure,
+retry, blacklist, timeout). Subprocess tests prove the headline claim:
+a warm start runs the same program with **zero** compiles and
+byte-identical generated code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.codecache import (PRIORITY_OSR, PRIORITY_PREFETCH,
+                             PRIORITY_TIER1, PRIORITY_TIER2,
+                             CompileService, FORMAT_VERSION,
+                             PersistentCodeCache)
+from repro.compiler.options import CompileOptions
+from repro.errors import CompilationError
+from tests.conftest import load
+
+@pytest.fixture(autouse=True)
+def _allow_persistence(monkeypatch):
+    """These tests exercise persistence itself (in isolated tmp dirs);
+    CI's REPRO_NO_PERSIST blanket run must not turn them into no-ops."""
+    monkeypatch.delenv("REPRO_NO_PERSIST", raising=False)
+
+
+SRC = '''
+    def addmul(x) {
+      var acc = 7;
+      var i = 0;
+      while (i < 3) { acc = acc + x; i = i + 1; }
+      return acc;
+    }
+    def other(x) { return x - 1; }
+'''
+
+
+def load_cached(tmp_path, source=SRC, **opt_kw):
+    opts = CompileOptions(cache_dir=str(tmp_path / "cc"), **opt_kw)
+    return load(source, options=opts)
+
+
+def entry_files(cache_dir):
+    return sorted(p for p in os.listdir(cache_dir) if p.endswith(".json"))
+
+
+class TestPersistentStore:
+    def test_cold_store_then_warm_load(self, tmp_path):
+        j1 = load_cached(tmp_path)
+        f1 = j1.compile_function("Main", "addmul")
+        assert f1(5) == 22
+        s1 = j1.stats()
+        assert s1["compiles"] == 1
+        assert s1["codecache"]["stores"] == 1
+        assert s1["codecache"]["misses"] == 1
+
+        # A second VM over the same cache dir: zero compiles, same code.
+        j2 = load_cached(tmp_path)
+        f2 = j2.compile_function("Main", "addmul")
+        assert f2(5) == 22
+        s2 = j2.stats()
+        assert s2["compiles"] == 0
+        assert s2["codecache"]["hits"] == 1
+        assert f2.source == f1.source
+        assert f2.persist_key == f1.persist_key
+
+    def test_warm_unit_still_deopts_and_recompiles(self, tmp_path):
+        src = '''
+            def clamp(x) {
+              if (Lancet.speculate(x < 100)) { return x; }
+              return 100;
+            }
+        '''
+        j1 = load_cached(tmp_path, source=src)
+        assert j1.compile_function("Main", "clamp")(5) == 5
+        j2 = load_cached(tmp_path, source=src)
+        f = j2.compile_function("Main", "clamp")
+        assert j2.stats()["compiles"] == 0        # warm
+        assert f(500) == 100                      # guard fails -> interpreter
+        assert f.deopt_count == 1
+
+    def test_fingerprint_tracks_bytecode(self, tmp_path):
+        j1 = load_cached(tmp_path)
+        j1.compile_function("Main", "addmul")
+        changed = SRC.replace("acc = 7", "acc = 8")
+        j2 = load_cached(tmp_path, source=changed)
+        f = j2.compile_function("Main", "addmul")
+        assert f(5) == 23
+        s2 = j2.stats()
+        assert s2["compiles"] == 1                 # miss: source changed
+        assert s2["codecache"]["hits"] == 0
+
+    def test_fingerprint_tracks_codegen_options(self, tmp_path):
+        j1 = load_cached(tmp_path)
+        j1.compile_function("Main", "addmul")
+        j2 = load_cached(tmp_path, inline_policy="never")
+        j2.compile_function("Main", "addmul")
+        assert j2.stats()["compiles"] == 1         # options in the key
+
+    def test_fingerprint_ignores_non_codegen_options(self, tmp_path):
+        j1 = load_cached(tmp_path)
+        j1.compile_function("Main", "addmul")
+        # cache_budget_bytes / compile_workers don't affect generated
+        # code, so they must not force a cold start.
+        j2 = load_cached(tmp_path, cache_budget_bytes=32 << 20)
+        j2.compile_function("Main", "addmul")
+        assert j2.stats()["compiles"] == 0
+        j2.close()
+
+    def test_fingerprint_tracks_macro_registry(self, tmp_path):
+        j1 = load_cached(tmp_path)
+        j1.compile_function("Main", "addmul")
+        j2 = load_cached(tmp_path)
+        # An extra installed macro changes staging semantics: the old
+        # entry must not be trusted even though the bytecode matches.
+        j2.macros.install("Whatever", "m", lambda ctx, recv, args: None)
+        j2.compile_function("Main", "addmul")
+        assert j2.stats()["compiles"] == 1
+
+    def test_corrupt_entry_quarantined_and_recompiled(self, tmp_path):
+        j1 = load_cached(tmp_path)
+        f1 = j1.compile_function("Main", "addmul")
+        cache_dir = j1.codecache.root
+        (name,) = entry_files(cache_dir)
+        path = os.path.join(cache_dir, name)
+        with open(path, "r+") as f:
+            f.truncate(30)                         # torn write / bad disk
+
+        j2 = load_cached(tmp_path)
+        j2.telemetry.enable_trace()
+        f2 = j2.compile_function("Main", "addmul")
+        assert f2(5) == f1(5)
+        s2 = j2.stats()
+        assert s2["compiles"] == 1                 # clean miss, recompiled
+        assert s2["codecache"]["quarantines"] == 1
+        events = j2.telemetry.events("codecache.quarantine")
+        assert len(events) == 1
+        assert name in events[0].data["path"]
+        # The corpse is sidelined for autopsy, and the fresh store wrote
+        # a good entry under the real name again.
+        assert os.path.exists(path + ".quarantine")
+        assert entry_files(cache_dir) == [name]
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        j1 = load_cached(tmp_path)
+        j1.compile_function("Main", "addmul")
+        cache_dir = j1.codecache.root
+        (name,) = entry_files(cache_dir)
+        path = os.path.join(cache_dir, name)
+        with open(path) as f:
+            wrapper = json.load(f)
+        wrapper["payload"]["source"] += "\n# tampered"
+        with open(path, "w") as f:
+            json.dump(wrapper, f)
+
+        j2 = load_cached(tmp_path)
+        j2.compile_function("Main", "addmul")
+        s2 = j2.stats()
+        assert s2["compiles"] == 1
+        assert s2["codecache"]["quarantines"] == 1
+
+    def test_format_version_mismatch_is_clean_miss(self, tmp_path):
+        j1 = load_cached(tmp_path)
+        j1.compile_function("Main", "addmul")
+        cache_dir = j1.codecache.root
+        (name,) = entry_files(cache_dir)
+        path = os.path.join(cache_dir, name)
+        with open(path) as f:
+            wrapper = json.load(f)
+        wrapper["format"] = FORMAT_VERSION + 1
+        with open(path, "w") as f:
+            json.dump(wrapper, f)
+
+        j2 = load_cached(tmp_path)
+        j2.compile_function("Main", "addmul")
+        s2 = j2.stats()
+        assert s2["compiles"] == 1
+        assert s2["codecache"]["version_misses"] == 1
+        assert s2["codecache"]["quarantines"] == 0  # not corruption
+        assert not os.path.exists(path + ".quarantine")
+
+    def test_budget_eviction_drops_oldest(self, tmp_path):
+        j = load_cached(tmp_path)
+        j.compile_function("Main", "addmul")
+        j.compile_function("Main", "other")
+        cache = j.codecache
+        names = entry_files(cache.root)
+        assert len(names) == 2
+        # Age the addmul entry, shrink the budget to one entry, enforce.
+        sizes = {n: os.path.getsize(os.path.join(cache.root, n))
+                 for n in names}
+        old = time.time() - 1000
+        victim = names[0]
+        os.utime(os.path.join(cache.root, victim), (old, old))
+        cache.budget_bytes = max(s for s in sizes.values())
+        cache._enforce_budget()
+        survivors = entry_files(cache.root)
+        assert victim not in survivors
+        assert len(survivors) >= 1
+        assert j.stats()["codecache"]["evicts"] >= 1
+
+    def test_invalidation_reaches_disk(self, tmp_path):
+        j = load_cached(tmp_path)
+        f = j.compile_function("Main", "addmul")
+        assert f.persist_key is not None
+        assert len(entry_files(j.codecache.root)) == 1
+        # The runtime invalidation path (a stable guard failing calls
+        # exactly this): the on-disk entry bakes in the dead snapshot
+        # and must die with the in-memory code.
+        f.invalidate("stable guard failed (stable)")
+        assert entry_files(j.codecache.root) == []
+        assert f.persist_key is None
+        assert j.stats()["codecache"]["invalidates"] == 1
+        # Recompile works and re-persists on the next cached compile.
+        assert f(5) == 22
+
+    def test_no_persist_option_disables(self, tmp_path):
+        j = load_cached(tmp_path, persist=False)
+        j.compile_function("Main", "addmul")
+        assert j.codecache is None
+        assert j.stats()["codecache"]["enabled"] is False
+
+    def test_no_persist_env_var_disables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_PERSIST", "1")
+        j = load_cached(tmp_path)
+        j.compile_function("Main", "addmul")
+        assert j.codecache is None
+
+    def test_unwritable_cache_dir_degrades(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        opts = CompileOptions(cache_dir=str(blocker / "sub"))
+        j = load(SRC, options=opts)
+        f = j.compile_function("Main", "addmul")   # must not raise
+        assert f(5) == 22
+        assert j.codecache is None or not j.codecache.enabled
+
+    def test_disabled_store_is_inert(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        cache = PersistentCodeCache(str(blocker / "nope"))
+        assert cache.enabled is False
+        assert cache.load("deadbeef", None) is None
+        assert cache.store("deadbeef", None, None) is False
+        assert cache.invalidate("deadbeef") is False
+
+    def test_receiver_specialized_units_never_persist(self, tmp_path):
+        src = '''
+            class Box {
+              val k;
+              def init(k) { this.k = k; }
+              def scale(z) { return this.k * z; }
+            }
+            def make(k) { return new Box(k); }
+        '''
+        j = load_cached(tmp_path, source=src)
+        box = j.vm.call("Main", "make", [6])
+        f = j.compile_method("Box", "scale", box)
+        assert f(7) == 42
+        # Identity-bound to this heap: nothing may hit the disk.
+        assert entry_files(j.codecache.root) == []
+
+
+class TestCompileService:
+    def _gated_service(self, **kw):
+        """A 1-worker service whose first job blocks on a gate, so tests
+        can fill the queue deterministically behind it."""
+        svc = CompileService(workers=1, **kw)
+        gate = threading.Event()
+        started = threading.Event()
+
+        def plug():
+            started.set()
+            gate.wait(5.0)
+            return "plug"
+
+        req = svc.submit("plug", plug, priority=PRIORITY_OSR)
+        assert started.wait(5.0)
+        return svc, gate, req
+
+    def test_priority_order(self):
+        svc, gate, _plug = self._gated_service()
+        try:
+            order = []
+            reqs = [svc.submit(key, lambda k=key: order.append(k) or k,
+                               priority=prio)
+                    for key, prio in (("pf", PRIORITY_PREFETCH),
+                                      ("t1", PRIORITY_TIER1),
+                                      ("osr", PRIORITY_OSR),
+                                      ("t2", PRIORITY_TIER2))]
+            gate.set()
+            for r in reqs:
+                r.wait(5.0)
+            assert order == ["osr", "t2", "t1", "pf"]
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_inflight_dedup(self):
+        svc, gate, _plug = self._gated_service()
+        try:
+            a = svc.submit("k", lambda: "va")
+            b = svc.submit("k", lambda: "vb")
+            assert a is b                      # one compile, shared handle
+            gate.set()
+            assert a.wait(5.0) == "va"
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_backpressure_sheds_lowest_priority(self):
+        svc, gate, _plug = self._gated_service(queue_limit=2)
+        try:
+            pf = svc.submit("pf", lambda: "pf", priority=PRIORITY_PREFETCH)
+            t1 = svc.submit("t1", lambda: "t1", priority=PRIORITY_TIER1)
+            # Queue full; an urgent request sheds the prefetch.
+            osr = svc.submit("osr", lambda: "osr", priority=PRIORITY_OSR)
+            assert not osr.rejected
+            assert pf.state == "failed"
+            assert "shed" in pf.error
+            # Another prefetch has nothing less urgent to shed: rejected.
+            pf2 = svc.submit("pf2", lambda: "x",
+                             priority=PRIORITY_PREFETCH)
+            assert pf2.rejected
+            gate.set()
+            assert osr.wait(5.0) == "osr"
+            assert t1.wait(5.0) == "t1"
+            assert svc.stats()["shed"] == 1
+            assert svc.stats()["rejected"] == 1
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_transient_error_retries_then_succeeds(self):
+        svc = CompileService(workers=1, retry_backoff=0.001)
+        try:
+            attempts = []
+
+            def flaky():
+                attempts.append(1)
+                if len(attempts) < 3:
+                    raise OSError("transient")
+                return "ok"
+
+            req = svc.submit("k", flaky)
+            assert req.wait(5.0) == "ok"
+            assert len(attempts) == 3
+            assert svc.stats()["retries"] == 2
+        finally:
+            svc.close()
+
+    def test_compilation_error_fails_immediately(self):
+        svc = CompileService(workers=1, retry_backoff=0.001)
+        try:
+            attempts = []
+
+            def broken():
+                attempts.append(1)
+                raise CompilationError("bad unit")
+
+            req = svc.submit("k", broken)
+            assert req.wait(5.0) is None
+            assert req.state == "failed"
+            assert len(attempts) == 1          # permanent: no retries
+        finally:
+            svc.close()
+
+    def test_blacklist_after_repeated_failure(self):
+        svc = CompileService(workers=1, blacklist_after=2,
+                             retry_backoff=0.001)
+        try:
+            def broken():
+                raise CompilationError("poisoned")
+
+            for _ in range(2):
+                svc.submit("k", broken).wait(5.0)
+            req = svc.submit("k", broken)
+            assert req.rejected
+            assert req.error == "blacklisted"
+            assert svc.stats()["blacklisted"] == [repr("k")]
+            # forgive() clears the record; the key runs again.
+            svc.forgive("k")
+            ok = svc.submit("k", lambda: "fixed")
+            assert ok.wait(5.0) == "fixed"
+        finally:
+            svc.close()
+
+    def test_timeout_in_queue(self):
+        svc, gate, _plug = self._gated_service()
+        try:
+            req = svc.submit("slowpoke", lambda: "late", timeout=0.01)
+            time.sleep(0.05)
+            gate.set()
+            req._event.wait(5.0)
+            assert req.state == "failed"
+            assert req.wait(0) is None
+            assert svc.stats()["timeouts"] == 1
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_cancel_discards_result(self):
+        svc, gate, req = self._gated_service()
+        try:
+            done = []
+            req.on_complete = done.append
+            svc.cancel("plug")
+            gate.set()
+            time.sleep(0.05)
+            assert req.state == "cancelled"
+            assert done == []                  # callback never ran
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_submit_after_close_rejected(self):
+        svc = CompileService(workers=1)
+        svc.close()
+        req = svc.submit("k", lambda: "v")
+        assert req.rejected
+        assert req.error == "service closed"
+
+
+class TestAsyncLancet:
+    def test_async_promotion_lands(self, tmp_path):
+        opts = CompileOptions(compile_workers=2, tier1_threshold=2,
+                              tier2_threshold=4)
+        j = load(SRC, options=opts)
+        try:
+            f = j.compile_tiered("Main", "addmul")
+            for _ in range(6):
+                assert f(5) == 22
+            deadline = time.monotonic() + 5.0
+            while f.tier < 2 and time.monotonic() < deadline:
+                f(5)
+                time.sleep(0.005)
+            assert f.tier == 2
+            assert f(5) == 22
+            stats = j.stats()
+            assert stats["compile_service"]["completed"] >= 1
+        finally:
+            j.close()
+
+    def test_prefetch_warms_unit_cache(self):
+        opts = CompileOptions(compile_workers=1)
+        j = load(SRC, options=opts)
+        try:
+            req = j.prefetch("Main", "addmul")
+            assert req is not None
+            req._event.wait(5.0)
+            assert j.stats()["compiles"] == 1
+            # The foreground call is now a unit-cache hit, not a compile.
+            f = j.compile_function("Main", "addmul")
+            assert f(5) == 22
+            assert j.stats()["compiles"] == 1
+        finally:
+            j.close()
+
+    def test_prefetch_without_service_is_noop(self):
+        j = load(SRC)
+        assert j.prefetch("Main", "addmul") is None
+
+    def test_close_is_idempotent(self):
+        j = load(SRC, options=CompileOptions(compile_workers=1))
+        j.close()
+        j.close()
+        assert j.compile_function("Main", "addmul")(5) == 22
+
+
+PROG = '''
+def hot(x) {
+  var acc = 0;
+  var i = 0;
+  while (i < 10) { acc = acc + x * i; i = i + 1; }
+  return acc;
+}
+'''
+
+
+def _run_cli(tmp_path, *extra, check=True):
+    prog = tmp_path / "prog.mj"
+    if not prog.exists():
+        prog.write_text(PROG)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..",
+                                     "src")
+    env.pop("REPRO_NO_PERSIST", None)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "jit", str(prog), "hot", "4",
+         "--cache-dir", str(tmp_path / "cc")] + list(extra),
+        capture_output=True, text=True, env=env)
+    if check:
+        assert proc.returncode == 0, proc.stderr
+    return proc
+
+
+def _stats(proc):
+    err = proc.stderr
+    return json.loads(err[err.index("{"):])
+
+
+class TestWarmStartSubprocess:
+    def test_second_process_zero_compiles_identical_code(self, tmp_path):
+        cold = _run_cli(tmp_path, "--jit-stats", "--show-code")
+        warm = _run_cli(tmp_path, "--jit-stats", "--show-code")
+        assert cold.stdout == warm.stdout
+        cold_stats, warm_stats = _stats(cold), _stats(warm)
+        assert cold_stats["compiles"] >= 1
+        assert warm_stats["compiles"] == 0
+        assert warm_stats["codecache"]["hits"] >= 1
+
+        def code_section(proc):
+            err = proc.stderr
+            start = err.index("--- generated code ---")
+            return err[start:err.index("\n{", start)]
+
+        assert code_section(cold) == code_section(warm)
+
+    def test_corrupt_entry_quarantined_across_processes(self, tmp_path):
+        cold = _run_cli(tmp_path, "--jit-stats")
+        cache_dir = tmp_path / "cc"
+        (entry,) = [p for p in os.listdir(cache_dir)
+                    if p.endswith(".json")]
+        path = cache_dir / entry
+        path.write_text(path.read_text()[:25])     # truncate
+
+        after = _run_cli(tmp_path, "--jit-stats")
+        assert after.stdout == cold.stdout         # still correct
+        stats = _stats(after)
+        assert stats["compiles"] >= 1
+        assert stats["codecache"]["quarantines"] == 1
+        assert os.path.exists(str(path) + ".quarantine")
