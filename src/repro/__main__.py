@@ -4,6 +4,12 @@
     python -m repro jit program.mj fn [args...]       # compile + run
     python -m repro dis program.mj                    # show bytecode
     python -m repro dump program.mj fn                # show generated code
+    python -m repro analyze program.mj [fn ...]       # JIT lint report
+
+``analyze`` runs the collect-mode IR analysis pipeline (verifier, taint,
+checkNoAlloc, plus informational findings from the optimization passes)
+over the named functions — every top-level function when none are named —
+and exits nonzero when any error-severity finding is reported.
 
 ``run`` and ``jit`` accept ``--jit-stats`` (print a JSON stats summary to
 stderr after execution) and ``--trace-jit out.jsonl`` (record JIT telemetry
@@ -134,6 +140,31 @@ def cmd_jit(args):
     return status
 
 
+def cmd_analyze(args):
+    jit = _load(args.program, args.module)
+    names = args.fns
+    if not names:
+        with open(args.program) as f:
+            classes = compile_source(f.read(), module=args.module)
+        by_name = {c.name: c for c in classes}
+        module_cls = by_name.get(args.module)
+        if module_cls is None:
+            print("error: no class %s in %s" % (args.module, args.program),
+                  file=sys.stderr)
+            return 2
+        names = sorted(module_cls.methods)
+    status = 0
+    for fn in names:
+        diag = jit.analyze(args.module, fn)
+        if args.json:
+            print(json.dumps(diag.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(diag.render())
+        if diag.errors():
+            status = 1
+    return status
+
+
 def cmd_dis(args):
     with open(args.program) as f:
         source = f.read()
@@ -204,6 +235,16 @@ def main(argv=None):
                    help="background compile workers (0 = compile "
                         "synchronously); tier promotions become async")
     p.set_defaults(handler=cmd_jit)
+
+    p = sub.add_parser("analyze",
+                       help="JIT lint: collect-mode IR analysis report")
+    p.add_argument("program")
+    p.add_argument("fns", nargs="*", metavar="fn",
+                   help="functions to analyze (default: all top-level)")
+    p.add_argument("--module", default="Main")
+    p.add_argument("--json", action="store_true",
+                   help="emit each report as JSON instead of text")
+    p.set_defaults(handler=cmd_analyze)
 
     p = sub.add_parser("dis", help="disassemble compiled bytecode")
     p.add_argument("program")

@@ -12,6 +12,12 @@ Slowpath ``Deopt`` terminators are the one exception: they are recorded at
 staging time (terminators can never be dead-code eliminated, and the
 dynamic-scope information needed to attribute them is gone by now) and
 passed in via ``staged_sites``.
+
+Allocations that scalar replacement *sank* (see
+:mod:`repro.pipeline.sink`) pass the check — they no longer exist in the
+generated code — but are not silently forgotten: ``sunk_sites`` feeds
+:func:`sunk_detail` so the diagnostic story stays explainable ("this
+allocation was removed, here is where it was").
 """
 
 from __future__ import annotations
@@ -45,6 +51,19 @@ def check_noalloc(blocks, staged_sites=()):
             elif stmt.effect is Effect.GUARD:
                 sites.append("deoptimization point (guard)%s" % where)
     return sites
+
+
+def describe_alloc(stmt):
+    """Human-readable description of one allocation statement, in the
+    same format :func:`check_noalloc` reports residual sites."""
+    return "%s allocation%s" % (stmt.op, _provenance(stmt.flags))
+
+
+def sunk_detail(sunk_sites):
+    """Diagnostic lines for allocations removed by scalar replacement —
+    the paper's checkNoAlloc story must stay explainable even when the
+    check passes *because* an optimization fired."""
+    return ["%s sunk by scalar replacement" % site for site in sunk_sites]
 
 
 def _provenance(flags):

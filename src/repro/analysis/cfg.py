@@ -71,6 +71,69 @@ def reverse_postorder(blocks, entry_id):
     return order
 
 
+def dominators(blocks, entry_id):
+    """Immediate dominators as ``{block_id: idom_id}`` (the entry maps to
+    itself; unreachable blocks are absent).
+
+    Cooper/Harvey/Kennedy's iterative algorithm over reverse postorder:
+    two-finger intersection walks idom chains by RPO index, so the whole
+    thing is a couple of sweeps for the CFGs staging produces.
+    """
+    order = reverse_postorder(blocks, entry_id)
+    index = {bid: i for i, bid in enumerate(order)}
+    preds = predecessors(blocks)
+    idom = {entry_id: entry_id}
+
+    def intersect(a, b):
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for bid in order:
+            if bid == entry_id:
+                continue
+            new_idom = None
+            for p in preds[bid]:
+                if p in idom:
+                    new_idom = p if new_idom is None \
+                        else intersect(p, new_idom)
+            if new_idom is not None and idom.get(bid) != new_idom:
+                idom[bid] = new_idom
+                changed = True
+    return idom
+
+
+def dominates(idom, a, b):
+    """True when block ``a`` dominates block ``b`` under ``idom`` (as
+    returned by :func:`dominators`); reflexive."""
+    while True:
+        if a == b:
+            return True
+        parent = idom.get(b)
+        if parent is None or parent == b:
+            return False
+        b = parent
+
+
+def def_counts(blocks):
+    """Global ``{name: definition count}`` over statements and block
+    params. The staged IR is block-argument SSA, so every count should be
+    1 — passes that substitute names check this rather than assume it."""
+    counts = {}
+    for block in blocks.values():
+        for name in block.params:
+            counts[name] = counts.get(name, 0) + 1
+        for stmt in block.stmts:
+            counts[stmt.sym.name] = counts.get(stmt.sym.name, 0) + 1
+    return counts
+
+
 def stmt_uses(stmt):
     """Sym names read by one statement."""
     return [a.name for a in stmt.args if isinstance(a, Sym)]

@@ -1,0 +1,97 @@
+"""Intraprocedural escape analysis over the staged CFG.
+
+An allocation *escapes* when the object can outlive, or be observed
+outside, the pure dataflow of the compiled unit: stored into the heap,
+passed to a residual call / native / delite kernel, returned, thrown, or
+captured in deoptimization state (guard live sets, ``Deopt``/
+``OsrCompile`` lives, ``make_cont``). Uses that only *decompose* the
+object — field/element loads and stores **into** it, ``alen``,
+``instanceof`` — do not escape it.
+
+Escape facts propagate backwards through copies: if a name escapes and it
+is defined by an ``id``/``taint``/``untaint`` of another value, or it is a
+block parameter assigned from a value along an incoming edge, the source
+escapes too. The result is the set of escaping *names*; scalar replacement
+(:mod:`repro.pipeline.sink`) sinks allocations whose names stay out of it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import phi_assigns_for_edge
+from repro.lms.ir import Branch, Deopt, OsrCompile, Return
+from repro.lms.rep import Sym
+
+from repro.analysis.effects import COPY_OPS
+
+#: Statement args that never escape their value: (op, arg position).
+#: args[0] of a load/store is the base being decomposed; immediate
+#: operands (field names, class names) are not Reps at all.
+_NONESCAPE_POSITIONS = {
+    ("getfield", 0), ("putfield", 0), ("putfield_stablecheck", 0),
+    ("aload", 0), ("aload", 1), ("astore", 0), ("astore", 1),
+    ("alen", 0), ("instanceof", 0),
+}
+
+
+def escape_roots(blocks):
+    """Names used in a directly-escaping position, plus the copy edges
+    ``dst -> srcs`` needed to close over aliases."""
+    roots = set()
+    copies = {}                  # dst name -> [src names]
+
+    def root(rep):
+        if isinstance(rep, Sym):
+            roots.add(rep.name)
+
+    for block in blocks.values():
+        for stmt in block.stmts:
+            op = stmt.op
+            if op in COPY_OPS:
+                if isinstance(stmt.args[0], Sym):
+                    copies.setdefault(stmt.sym.name, []).append(
+                        stmt.args[0].name)
+                continue
+            if op in ("guard", "guard_not"):
+                # The condition (args[0]) is consumed; captured live
+                # state (args[2:]) escapes into the deopt frame.
+                for rep in stmt.args[2:]:
+                    root(rep)
+                continue
+            if op == "make_cont":
+                for rep in stmt.args[1:]:
+                    root(rep)
+                continue
+            for i, rep in enumerate(stmt.args):
+                if (op, i) not in _NONESCAPE_POSITIONS:
+                    root(rep)
+        term = block.terminator
+        if isinstance(term, Return):
+            root(term.value)
+        elif isinstance(term, Branch):
+            root(term.cond)
+        elif isinstance(term, (Deopt, OsrCompile)):
+            for rep in term.lives:
+                root(rep)
+        for succ in set(term.successors()):
+            for param, rep in phi_assigns_for_edge(term, succ):
+                copies.setdefault(param, []).append(
+                    rep.name if isinstance(rep, Sym) else None)
+    return roots, copies
+
+
+def escaping_names(blocks):
+    """The set of names whose value may escape the unit (fixpoint over
+    the copy graph). A block parameter counts as escaping when *it*
+    escapes — then every value assigned to it does too."""
+    roots, copies = escape_roots(blocks)
+    escaping = set(roots)
+    changed = True
+    while changed:
+        changed = False
+        for dst, srcs in copies.items():
+            if dst in escaping:
+                for src in srcs:
+                    if src is not None and src not in escaping:
+                        escaping.add(src)
+                        changed = True
+    return escaping

@@ -1,19 +1,32 @@
-"""Back-compat shim: the analysis pipeline is now the PassManager.
+"""Deprecated back-compat shim: the analysis pipeline is now the
+PassManager.
 
 The ad-hoc verify/optimize/taint/alloc sequencing that used to live here
 became the declarative per-tier pass list in
 :mod:`repro.pipeline.passes`. ``AnalysisPipeline`` remains importable
 (same constructor, same ``run(result, name, report=...)`` contract,
-always the full Tier-2 list) for existing callers and tests.
+always the full Tier-2 list) but emits a :class:`DeprecationWarning`;
+construct :class:`~repro.pipeline.passes.PassManager` and pass
+``tier=2`` to ``run`` instead.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.pipeline.passes import PassManager
 
 
 class AnalysisPipeline(PassManager):
-    """The full (Tier-2) pass list, regardless of ``options.tier``."""
+    """Deprecated alias for :class:`PassManager` pinned to Tier 2."""
+
+    def __init__(self, options, telemetry=None, diagnostics=None):
+        warnings.warn(
+            "AnalysisPipeline is deprecated; use "
+            "repro.pipeline.passes.PassManager (run(..., tier=2)) instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(options, telemetry=telemetry,
+                         diagnostics=diagnostics)
 
     def run(self, result, name, tier=None, report=None):
         return super().run(result, name, tier=2, report=report)

@@ -46,6 +46,14 @@ class CompileOptions:
     # Delite accelerator-op fusion (paper 3.4); off for ablations.
     delite_fusion: bool = True
 
+    # Tier-2 optimization passes powered by the static analyses in
+    # repro.analysis (effects/escape/ranges). Each flag gates one pass so
+    # ablations and the differential fuzzer can isolate them.
+    opt_gvn: bool = True            # dominator-scoped CSE + load/call CSE
+    opt_licm: bool = True           # loop-invariant code motion
+    opt_scalar_replace: bool = True  # sink non-escaping allocations
+    opt_range_guards: bool = True   # interval-proven guard/branch pruning
+
     # Tiered compilation (paper 3.1: makeJIT/makeHOT as library policy).
     # `tier` names the tier this options object compiles at: 1 = quick
     # staged compile (shallow specialization, minimal guards, no analysis

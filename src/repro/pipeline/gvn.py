@@ -1,0 +1,238 @@
+"""Global value numbering / CSE over the staged CFG.
+
+Staging already CSEs pure ops *within* a block as it emits
+(:data:`repro.lms.staging._CSE_OPS`); this pass extends redundancy
+elimination across blocks and to heap reads:
+
+* **dominator-scoped CSE** of pure statements: a pure computation is
+  replaced by an equivalent one in a dominating position (dominance ==
+  availability for the block-argument SSA form, so the replacement is
+  always defined). Commutative ops are canonicalized first.
+* **copy propagation** of ``id`` moves (mostly materialized phi assigns
+  left by block fusion), so chains of renames collapse and downstream
+  keys match.
+* **redundant-phi elimination**: a block parameter whose every incoming
+  edge passes the same value (or the parameter itself, on a back edge)
+  collapses to that value. Staging threads *all* live variables through
+  block params at joins, so loop-invariant values arrive disguised as
+  loop-defined — without this, LICM and cross-loop CSE see nothing to do.
+* **block-local load CSE**: repeated ``getfield``/``aload``/``alen`` of
+  the same base and key reuse the first value until a statement that may
+  clobber it (an aliasing store, or any residual call) intervenes —
+  aliasing per :mod:`repro.analysis.effects`.
+* **interprocedural call CSE**: a residual ``invoke_method`` whose callee
+  summary proves it pure joins the dominator-scoped table; a read-only
+  callee joins the block-local table like a load.
+
+Everything is rewritten through one substitution map, applied while
+walking the dominator tree in DFS order (definitions are always visited
+before uses).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import def_counts, dominators, predecessors
+from repro.analysis.effects import (COPY_OPS, clobbers, fresh_syms,
+                                    invoke_summary, is_pure, load_key)
+from repro.lms.ir import Branch, Deopt, Effect, Jump, OsrCompile, Return
+from repro.lms.rep import ConstRep, Rep, StaticRep, Sym
+
+_COMMUTATIVE_NUM = ("add", "mul")
+_COMMUTATIVE_ALWAYS = ("eq", "ne")
+
+
+def _rank(rep):
+    if isinstance(rep, Sym):
+        return (0, rep.name)
+    if isinstance(rep, ConstRep):
+        return (1, type(rep.value).__name__, repr(rep.value))
+    if isinstance(rep, StaticRep):
+        return (2, rep.index)
+    return (3, repr(rep))
+
+
+def _value_key(stmt):
+    op = stmt.op
+    args = stmt.args
+    if (op in _COMMUTATIVE_ALWAYS
+            or (op in _COMMUTATIVE_NUM and stmt.flags.get("num"))) \
+            and len(args) == 2:
+        args = tuple(sorted(args, key=_rank))
+    return (op,) + args
+
+
+def _assign_lists(term, target):
+    """Every phi-assign list ``term`` passes along an edge to ``target``
+    (two for a Branch with both arms there)."""
+    lists = []
+    if isinstance(term, Jump) and term.target == target:
+        lists.append(term.phi_assigns)
+    elif isinstance(term, Branch):
+        if term.true_target == target:
+            lists.append(term.true_assigns)
+        if term.false_target == target:
+            lists.append(term.false_assigns)
+    return lists
+
+
+def _simplify_phis(blocks, entry_id, subst):
+    """Remove block params whose incoming edges all pass one same value
+    (or the param itself); record the replacement in ``subst``. Sound
+    because the value's definition dominates every predecessor, hence the
+    merge. Returns the number of params removed."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        preds = predecessors(blocks)
+        for bid, block in blocks.items():
+            if bid == entry_id or not block.params or not preds[bid]:
+                continue
+            incoming = [assigns
+                        for pid in preds[bid]
+                        for assigns in _assign_lists(
+                            blocks[pid].terminator, bid)]
+            for param in list(block.params):
+                reps = [dict(assigns).get(param) for assigns in incoming]
+                if any(r is None for r in reps):
+                    continue        # malformed edge; the verifier reports it
+                cands = [r for r in reps
+                         if not (isinstance(r, Sym) and r.name == param)]
+                if not cands:
+                    continue
+                first = cands[0]
+                if any(r != first for r in cands[1:]):
+                    continue
+                block.params.remove(param)
+                for assigns in incoming:
+                    assigns[:] = [(n, r) for n, r in assigns if n != param]
+                subst[param] = first
+                removed += 1
+                changed = True
+    return removed
+
+
+def global_value_numbering(blocks, entry_id):
+    """Run GVN in place; returns a stats dict
+    (``phis``/``cse``/``copies``/``loads``/``calls`` statements
+    removed)."""
+    idom = dominators(blocks, entry_id)
+    children = {}
+    for bid, parent in idom.items():
+        if bid != entry_id:
+            children.setdefault(parent, []).append(bid)
+    fresh = fresh_syms(blocks)
+    subst = {}                  # name -> replacement Rep
+    pure_table = {}             # value key -> Rep (dominator-scoped)
+    stats = {"phis": 0, "cse": 0, "copies": 0, "loads": 0, "calls": 0}
+    stats["phis"] = _simplify_phis(blocks, entry_id, subst)
+    counts = def_counts(blocks)
+
+    def resolve(rep):
+        while isinstance(rep, Sym) and rep.name in subst:
+            rep = subst[rep.name]
+        return rep
+
+    def remap(values):
+        return tuple(resolve(v) if isinstance(v, Rep) else v for v in values)
+
+    def remap_assigns(assigns):
+        assigns[:] = [(name, resolve(rep) if isinstance(rep, Rep) else rep)
+                      for name, rep in assigns]
+
+    def visit_block(block):
+        """Process one block's stmts + terminator; returns the keys this
+        block added to the dominator-scoped table (for scope exit)."""
+        added = []
+        load_table = {}          # block-local: load/ro-call key -> Rep
+        kept = []
+        for stmt in block.stmts:
+            stmt.args = remap(stmt.args)
+            single = counts.get(stmt.sym.name, 0) == 1
+            if stmt.op == "id" and single:
+                subst[stmt.sym.name] = stmt.args[0]
+                stats["copies"] += 1
+                continue
+            if single and is_pure(stmt) and stmt.op not in COPY_OPS:
+                key = _value_key(stmt)
+                hit = pure_table.get(key)
+                if hit is not None:
+                    subst[stmt.sym.name] = hit
+                    stats["cse"] += 1
+                    continue
+                pure_table[key] = Sym(stmt.sym.name)
+                added.append(key)
+                kept.append(stmt)
+                continue
+            lkey = load_key(stmt) if single else None
+            if lkey is not None:
+                hit = load_table.get(lkey)
+                if hit is not None:
+                    subst[stmt.sym.name] = hit
+                    stats["loads"] += 1
+                    continue
+                load_table[lkey] = Sym(stmt.sym.name)
+                kept.append(stmt)
+                continue
+            summary = invoke_summary(stmt) if single else None
+            if summary is not None and summary.is_pure:
+                key = ("call",) + stmt.args
+                hit = pure_table.get(key)
+                if hit is not None:
+                    subst[stmt.sym.name] = hit
+                    stats["calls"] += 1
+                    continue
+                pure_table[key] = Sym(stmt.sym.name)
+                added.append(key)
+                kept.append(stmt)
+                continue
+            if summary is not None and summary.is_read_only:
+                # A read-only call invalidates nothing itself, but its
+                # result depends on the heap: block-local reuse only.
+                key = ("ro_call",) + stmt.args
+                hit = load_table.get(key)
+                if hit is not None:
+                    subst[stmt.sym.name] = hit
+                    stats["calls"] += 1
+                    continue
+                load_table[key] = Sym(stmt.sym.name)
+                kept.append(stmt)
+                continue
+            # Effectful statement: drop every cached read it may clobber.
+            writes = stmt.op not in COPY_OPS and stmt.effect in (
+                Effect.WRITE, Effect.IO, Effect.CALL)
+            for key in list(load_table):
+                if key[0] == "ro_call":
+                    if writes:
+                        del load_table[key]
+                elif clobbers(stmt, key, fresh):
+                    del load_table[key]
+            kept.append(stmt)
+        block.stmts[:] = kept
+
+        term = block.terminator
+        if isinstance(term, Jump):
+            remap_assigns(term.phi_assigns)
+        elif isinstance(term, Branch):
+            term.cond = resolve(term.cond)
+            remap_assigns(term.true_assigns)
+            remap_assigns(term.false_assigns)
+        elif isinstance(term, Return):
+            term.value = resolve(term.value)
+        elif isinstance(term, (Deopt, OsrCompile)):
+            term.lives = [resolve(r) for r in term.lives]
+        return added
+
+    # Iterative DFS over the dominator tree with explicit scope undo.
+    stack = [("enter", entry_id)]
+    while stack:
+        action, bid = stack.pop()
+        if action == "exit":
+            for key in bid:          # bid is the undo list here
+                pure_table.pop(key, None)
+            continue
+        added = visit_block(blocks[bid])
+        stack.append(("exit", added))
+        for child in sorted(children.get(bid, ()), reverse=True):
+            stack.append(("enter", child))
+    return stats

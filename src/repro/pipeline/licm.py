@@ -1,0 +1,163 @@
+"""Loop-invariant code motion over the staged CFG.
+
+Natural loops are found from back edges (``u -> h`` where ``h`` dominates
+``u``). A statement hoists to the loop's *preheader* — the unique
+outside predecessor, required to end in an unconditional ``Jump`` to the
+header so hoisted code runs exactly when the loop is entered — when all
+of its operands are defined outside the loop and one of:
+
+* it is pure and *total* (:func:`repro.analysis.effects.is_total`): safe
+  to execute even if the loop body would have skipped it;
+* it is pure but may raise, or it is a heap read no statement in the
+  loop can clobber, **and** it sits in the header's leading effect-free
+  prefix: the preheader guarantees the header runs, so the statement was
+  going to execute (and raise, if it raises) before any other effect
+  anyway.
+
+Loops are processed innermost-first and the whole thing iterates to a
+fixpoint, so invariants chained through several statements (and through
+nested preheaders) all migrate out.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import dominates, dominators, predecessors
+from repro.analysis.effects import (COPY_OPS, clobbers, fresh_syms,
+                                    is_pure, is_total, load_key)
+from repro.lms.ir import Effect, Jump
+from repro.lms.rep import Sym
+
+
+def _natural_loops(blocks, entry_id):
+    """``{header: set(body block ids)}`` merged over all back edges."""
+    idom = dominators(blocks, entry_id)
+    preds = predecessors(blocks)
+    loops = {}
+    for bid, block in blocks.items():
+        if bid not in idom:
+            continue
+        for succ in block.terminator.successors():
+            if succ in idom and dominates(idom, succ, bid):
+                body = loops.setdefault(succ, {succ})
+                work = [bid]
+                while work:
+                    n = work.pop()
+                    if n in body:
+                        continue
+                    body.add(n)
+                    work.extend(p for p in preds[n] if p in idom)
+                # (workset never crosses the header: it is added first)
+    return loops
+
+
+def _preheader(blocks, preds, header, body):
+    """The unique out-of-loop predecessor ending in ``Jump(header)``."""
+    outside = [p for p in preds[header] if p not in body]
+    if len(outside) != 1:
+        return None
+    pre = blocks[outside[0]]
+    term = pre.terminator
+    if not isinstance(term, Jump) or term.target != header:
+        return None
+    return pre
+
+
+def hoist_loop_invariants(blocks, entry_id):
+    """Run LICM in place; returns the number of statements hoisted."""
+    hoisted_total = 0
+    for _round in range(10):
+        moved = _licm_round(blocks, entry_id)
+        hoisted_total += moved
+        if not moved:
+            break
+    return hoisted_total
+
+
+def _licm_round(blocks, entry_id):
+    loops = _natural_loops(blocks, entry_id)
+    if not loops:
+        return 0
+    preds = predecessors(blocks)
+    fresh = fresh_syms(blocks)
+    moved = 0
+    # Innermost loops first: their preheaders sit inside outer loops, so
+    # outer iterations (and later rounds) can carry hoisted code further.
+    for header in sorted(loops, key=lambda h: len(loops[h])):
+        body = loops[header]
+        pre = _preheader(blocks, preds, header, body)
+        if pre is None:
+            continue
+        # Reducibility check: the header must be the loop's only entry
+        # (an OSR unit can start mid-loop; hoisting would then bypass
+        # the preheader).
+        if any(p not in body
+               for bid in body if bid != header
+               for p in preds[bid]):
+            continue
+        moved += _hoist_from_loop(blocks, header, body, pre, fresh)
+    return moved
+
+
+def _loop_defs(blocks, body):
+    defs = set()
+    for bid in body:
+        defs.update(blocks[bid].params)
+        for stmt in blocks[bid].stmts:
+            defs.add(stmt.sym.name)
+    return defs
+
+
+def _loop_clobbers(blocks, body, key, fresh):
+    for bid in body:
+        for stmt in blocks[bid].stmts:
+            if clobbers(stmt, key, fresh):
+                return True
+    return False
+
+
+def _hoist_from_loop(blocks, header, body, pre, fresh):
+    moved = 0
+    changed = True
+    while changed:
+        changed = False
+        defs_in_loop = _loop_defs(blocks, body)
+        for bid in sorted(body):
+            block = blocks[bid]
+            in_header_prefix = bid == header
+            kept = []
+            for stmt in block.stmts:
+                invariant = all(
+                    a.name not in defs_in_loop
+                    for a in stmt.args if isinstance(a, Sym))
+                hoist = False
+                if invariant and stmt.op not in COPY_OPS:
+                    # Allocations are deliberately not hoisted: each
+                    # iteration must observe a fresh object.
+                    if is_pure(stmt):
+                        # Pure: anywhere if total, else only from the
+                        # header's effect-free prefix.
+                        hoist = is_total(stmt) or in_header_prefix
+                    else:
+                        key = load_key(stmt)
+                        if key is not None \
+                                and (is_total(stmt) or in_header_prefix) \
+                                and not _loop_clobbers(blocks, body, key,
+                                                       fresh):
+                            hoist = True
+                if hoist:
+                    pre.stmts.append(stmt)
+                    defs_in_loop.discard(stmt.sym.name)
+                    moved += 1
+                    changed = True
+                    continue
+                kept.append(stmt)
+                # Any effect (a write, call, guard — or a may-raise pure
+                # op staying put) ends the region where raising code may
+                # move ahead of it.
+                if in_header_prefix and not (
+                        stmt.op in COPY_OPS
+                        or (stmt.effect in (Effect.PURE, Effect.ALLOC)
+                            and is_total(stmt))):
+                    in_header_prefix = False
+            block.stmts[:] = kept
+    return moved

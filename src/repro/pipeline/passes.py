@@ -5,13 +5,20 @@ One pass list per tier, run between staging and code generation:
 * **Tier 1** (quick compile): ``fuse`` only — a single linear sweep so
   warmup compiles stay cheap.
 * **Tier 2** (optimizing compile): ``verify.staged`` → ``fuse`` →
-  ``dce`` → ``guards`` → ``verify.optimized`` → ``taint`` → ``alloc``.
+  ``gvn`` → ``licm`` → ``sink`` → ``range`` → ``dce`` → ``guards`` →
+  ``verify.optimized`` → ``taint`` → ``alloc``.
 
 Order encodes the semantics this package exists for: the verifier runs
 where IR is produced and again after the optimizer (which must preserve
-well-formedness); taint runs over the *optimized* CFG; ``checkNoAlloc``
-runs post-DCE so dead allocations are gone and only allocations
-surviving into generated code are reported.
+well-formedness); ``gvn`` runs first so copies collapse and later passes
+see canonical names; ``licm`` before ``sink`` so hoisting does not pin
+allocations; ``range`` before ``dce`` so neutralized guards and folded
+branches leave dead code for DCE to sweep; taint runs over the
+*optimized* CFG; ``checkNoAlloc`` runs post-DCE so dead and sunk
+allocations are gone and only allocations surviving into generated code
+are reported. The analysis-powered optimization passes are individually
+gated by ``CompileOptions`` flags (``opt_gvn``/``opt_licm``/
+``opt_scalar_replace``/``opt_range_guards``).
 
 Every pass run is timed and counted: wall time lands in the metrics
 registry under ``pass.<name>`` and per-unit in
@@ -31,18 +38,26 @@ from __future__ import annotations
 
 import time
 
-from repro.analysis.alloc import check_noalloc
+from repro.analysis.alloc import check_noalloc, sunk_detail
 from repro.analysis.dce import eliminate_dead, eliminate_redundant_guards
 from repro.analysis.fuse import fuse_blocks
 from repro.analysis.taint import find_leaks
 from repro.analysis.verify import verify_ir
 from repro.errors import IRVerifyError, NoAllocError, TaintError
+from repro.pipeline.gvn import global_value_numbering
+from repro.pipeline.licm import hoist_loop_invariants
+from repro.pipeline.rangeopt import prune_range_guards
+from repro.pipeline.sink import sink_allocations
 
 #: Legacy CompileReport.phases key each pass accumulates into.
 _LEGACY_PHASE = {
     "verify.staged": "analysis.verify",
     "verify.optimized": "analysis.verify",
     "fuse": "analysis.optimize",
+    "gvn": "analysis.optimize",
+    "licm": "analysis.optimize",
+    "sink": "analysis.optimize",
+    "range": "analysis.optimize",
     "dce": "analysis.optimize",
     "guards": "analysis.optimize",
     "taint": "analysis.taint",
@@ -52,8 +67,16 @@ _LEGACY_PHASE = {
 #: Declarative per-tier pass lists (tier 0 never reaches the pipeline).
 TIER_PASSES = {
     1: ("fuse",),
-    2: ("verify.staged", "fuse", "dce", "guards", "verify.optimized",
-        "taint", "alloc"),
+    2: ("verify.staged", "fuse", "gvn", "licm", "sink", "range", "dce",
+        "guards", "verify.optimized", "taint", "alloc"),
+}
+
+#: CompileOptions attribute gating each optional pass.
+_PASS_FLAG = {
+    "gvn": "opt_gvn",
+    "licm": "opt_licm",
+    "sink": "opt_scalar_replace",
+    "range": "opt_range_guards",
 }
 
 
@@ -134,6 +157,8 @@ class PassManager:
                           or self.options.check_taint):
             tier = 2
         names = TIER_PASSES.get(tier, TIER_PASSES[2])
+        names = tuple(n for n in names
+                      if getattr(self.options, _PASS_FLAG.get(n, ""), True))
         return tuple(n for n in names
                      if verify or not n.startswith("verify."))
 
@@ -143,17 +168,45 @@ class PassManager:
         diag = self.diagnostics
         tier = self.options.tier if tier is None else tier
         summary = {"removed_stmts": 0, "removed_guards": 0, "leaks": 0,
-                   "noalloc_sites": 0}
-        leaks, sites = [], []
+                   "noalloc_sites": 0, "gvn_removed": 0, "licm_hoisted": 0,
+                   "sunk_allocs": 0, "range_pruned_guards": 0,
+                   "folded_branches": 0}
+        leaks, sites, sunk, range_detail = [], [], [], []
+        ir_bad = False
 
         for pname in self.passes_for(tier):
+            if ir_bad and pname in _PASS_FLAG:
+                # Collect mode continues past verify errors, but running
+                # optimizations over ill-formed IR would only manufacture
+                # bogus findings.
+                continue
             t0 = time.perf_counter()
             size_before = _cfg_size(result)
             info = None
             if pname == "verify.staged":
                 info = self._verify(result, name, "staged")
+                ir_bad = bool(info.get("errors"))
             elif pname == "fuse":
                 fuse_blocks(result.blocks, result.entry_bid)
+            elif pname == "gvn":
+                stats = global_value_numbering(result.blocks,
+                                               result.entry_bid)
+                summary["gvn_removed"] = sum(stats.values())
+                info = dict(stats)
+            elif pname == "licm":
+                summary["licm_hoisted"] = hoist_loop_invariants(
+                    result.blocks, result.entry_bid)
+                info = {"hoisted": summary["licm_hoisted"]}
+            elif pname == "sink":
+                sunk = sink_allocations(result.blocks, result.entry_bid)
+                summary["sunk_allocs"] = len(sunk)
+                info = {"sunk": len(sunk)}
+            elif pname == "range":
+                pruned, folded, range_detail = prune_range_guards(
+                    result.blocks, result.entry_bid, result.param_names)
+                summary["range_pruned_guards"] = pruned
+                summary["folded_branches"] = folded
+                info = {"pruned": pruned, "folded": folded}
             elif pname == "dce":
                 summary["removed_stmts"] = eliminate_dead(result.blocks,
                                                           result.entry_bid)
@@ -192,6 +245,14 @@ class PassManager:
             if summary["removed_guards"]:
                 diag.add("info", "guards", "%d redundant guard(s) removed"
                          % summary["removed_guards"])
+            if summary["gvn_removed"]:
+                diag.add("info", "gvn", "%d redundant value(s) eliminated "
+                         "by value numbering" % summary["gvn_removed"])
+            if summary["licm_hoisted"]:
+                diag.add("info", "licm", "%d loop-invariant statement(s) "
+                         "hoisted" % summary["licm_hoisted"])
+            diag.extend("info", "sink", sunk_detail(sunk))
+            diag.extend("info", "range", range_detail)
             return summary
 
         if leaks:
@@ -199,8 +260,13 @@ class PassManager:
                 "taint analysis of %s found %d leak(s): %s"
                 % (name, len(leaks), "; ".join(leaks)), leaks=leaks)
         if sites:
+            suffix = ""
+            if sunk:
+                suffix = (" (%d other allocation(s) were sunk by scalar "
+                          "replacement)" % len(sunk))
             raise NoAllocError(
                 "checkNoAlloc failed for %s: %d residual allocation/deopt "
-                "site(s): %s" % (name, len(sites), "; ".join(sites)),
+                "site(s): %s%s" % (name, len(sites), "; ".join(sites),
+                                   suffix),
                 sites=sites)
         return summary

@@ -1,0 +1,359 @@
+"""Scalar replacement of non-escaping allocations (allocation sinking).
+
+The staged interpreter already keeps allocations virtual while it can
+(``Partial`` values), but it must *materialize* them at control-flow
+merges and wherever a dynamic store forces it. This pass runs after
+staging and removes those residual allocations when escape analysis
+(:mod:`repro.analysis.escape`) proves the object never leaves the unit —
+in the spirit of partial escape analysis and scalar replacement in Graal.
+
+Two shapes are handled:
+
+* **Straight-line** (case A): an allocation whose every use is a
+  constant-keyed field/element access in its own block. The stores are
+  interpreted at compile time and each load is rewritten to the stored
+  value; the allocation disappears.
+* **Merge** (case B): every predecessor of a merge block materializes an
+  equal-shaped allocation, passes it as the same block parameter, and the
+  parameter is only ever *read* with constant keys. The object parameter
+  is exploded into one parameter per loaded field — a per-field phi — and
+  the per-predecessor allocations and stores vanish.
+
+Functions that previously failed ``checkNoAlloc`` on merge-materialized
+temporaries now pass; the removed sites are reported as "sunk"
+(:func:`repro.analysis.alloc.sunk_detail`) so the demanded-analysis story
+stays explainable.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.alloc import describe_alloc
+from repro.analysis.cfg import predecessors
+from repro.analysis.escape import escaping_names
+from repro.lms.ir import Branch, Effect, Jump, Stmt
+from repro.lms.rep import ConstRep, Sym
+
+
+def sink_allocations(blocks, entry_id):
+    """Run scalar replacement in place; returns the list of sunk-site
+    descriptions (one per removed allocation)."""
+    sunk = []
+    # Merges first: exploding a merge parameter leaves straight-line
+    # residue that case A (and later DCE) cleans up.
+    changed = True
+    while changed:
+        changed = _sink_one_merge(blocks, sunk)
+    for block in blocks.values():
+        _sink_straight_line(blocks, block, sunk)
+    return sunk
+
+
+# -- shapes ---------------------------------------------------------------------
+
+def _shape_of(stmt):
+    """(kind, identity, member-domain) of an allocation, or None."""
+    if stmt.op == "new":
+        cls = getattr(stmt.args[0], "obj", None)
+        fields = getattr(cls, "all_fields", None)
+        if fields is None:
+            return None
+        return ("obj", cls, frozenset(fields))
+    if stmt.op == "new_array":
+        n = stmt.args[0]
+        if isinstance(n, ConstRep) and isinstance(n.value, int) \
+                and not isinstance(n.value, bool) and n.value >= 0:
+            return ("arr", n.value, frozenset(range(n.value)))
+        return None
+    if stmt.op == "array_lit":
+        n = len(stmt.args)
+        return ("arr", n, frozenset(range(n)))
+    return None
+
+
+def _initial_env(stmt, shape):
+    if stmt.op == "array_lit":
+        return dict(enumerate(stmt.args))
+    # new: fields null-initialized; new_array: n nulls.
+    return {}
+
+
+def _member_default(shape, key, env):
+    if key in env:
+        return env[key]
+    return ConstRep(None)
+
+
+def _use_key(stmt):
+    """(kind, key) for a constant-keyed decomposing use, or None."""
+    op = stmt.op
+    if op == "getfield":
+        return ("load", stmt.args[1])
+    if op == "putfield":
+        return ("store", stmt.args[1])
+    if op == "aload":
+        idx = stmt.args[1]
+        if isinstance(idx, ConstRep) and isinstance(idx.value, int) \
+                and not isinstance(idx.value, bool):
+            return ("load", idx.value)
+        return None
+    if op == "astore":
+        idx = stmt.args[1]
+        if isinstance(idx, ConstRep) and isinstance(idx.value, int) \
+                and not isinstance(idx.value, bool):
+            return ("store", idx.value)
+        return None
+    if op == "alen":
+        return ("alen", None)
+    return None
+
+
+def _kind_matches(shape, stmt):
+    wants_arr = stmt.op in ("aload", "astore", "alen")
+    return (shape[0] == "arr") == wants_arr
+
+
+def _uses_of(blocks, name):
+    """Every (block, stmt, positions) statement use plus a count of
+    terminator/phi uses of ``name``."""
+    from repro.analysis.cfg import term_uses
+    stmt_sites = []
+    term_count = 0
+    for block in blocks.values():
+        for stmt in block.stmts:
+            positions = [i for i, a in enumerate(stmt.args)
+                         if isinstance(a, Sym) and a.name == name]
+            if positions:
+                stmt_sites.append((block, stmt, positions))
+        term_count += sum(1 for n in term_uses(block.terminator)
+                          if n == name)
+    return stmt_sites, term_count
+
+
+def _neutralize(stmt):
+    """Turn a removed store into a pure ``None`` definition (its result
+    sym is the pushed null); DCE sweeps it when unused."""
+    return Stmt(stmt.sym, "id", (ConstRep(None),), Effect.PURE, stmt.flags)
+
+
+# -- case A: straight-line -------------------------------------------------------
+
+def _sink_straight_line(blocks, block, sunk):
+    changed = True
+    while changed:
+        changed = False
+        escaping = None
+        for alloc in block.stmts:
+            shape = _shape_of(alloc)
+            if shape is None or alloc.effect is not Effect.ALLOC:
+                continue
+            if escaping is None:
+                escaping = escaping_names(blocks)
+            name = alloc.sym.name
+            if name in escaping:
+                continue
+            if _replace_in_block(blocks, block, alloc, shape, sunk):
+                changed = True
+                break
+
+
+def _replace_in_block(blocks, block, alloc, shape, sunk):
+    name = alloc.sym.name
+    sites, term_count = _uses_of(blocks, name)
+    if term_count:
+        return False
+    for ub, stmt, positions in sites:
+        if ub is not block or positions != [0] or stmt is alloc:
+            return False
+        key = _use_key(stmt)
+        if key is None or not _kind_matches(shape, stmt):
+            return False
+        if key[1] is not None and key[1] not in shape[2]:
+            return False            # a real run would raise; keep it
+    # Interpret the block from the allocation on.
+    env = _initial_env(alloc, shape)
+    start = block.stmts.index(alloc)
+    out = block.stmts[:start]
+    for stmt in block.stmts[start + 1:]:
+        if not any(isinstance(a, Sym) and a.name == name
+                   for a in stmt.args):
+            out.append(stmt)
+            continue
+        kind, key = _use_key(stmt)
+        if kind == "store":
+            env[key] = stmt.args[2]
+            out.append(_neutralize(stmt))
+        elif kind == "alen":
+            out.append(Stmt(stmt.sym, "id", (ConstRep(shape[1]),),
+                            Effect.PURE, stmt.flags))
+        else:
+            out.append(Stmt(stmt.sym, "id",
+                            (_member_default(shape, key, env),),
+                            Effect.PURE, stmt.flags))
+    block.stmts[:] = out
+    sunk.append(describe_alloc(alloc))
+    return True
+
+
+# -- case B: merge parameters ----------------------------------------------------
+
+def _sink_one_merge(blocks, sunk):
+    preds = predecessors(blocks)
+    escaping = escaping_names(blocks)
+    for mid in sorted(blocks):
+        merge = blocks[mid]
+        for param in list(merge.params):
+            if _explode_param(blocks, preds, merge, param, escaping, sunk):
+                return True
+    return False
+
+
+def _param_loads(blocks, param):
+    """All uses of the merge parameter, each a constant-keyed read;
+    returns ``(loads, keys)`` or None when any use disqualifies."""
+    sites, term_count = _uses_of(blocks, param)
+    if term_count:
+        return None
+    loads, keys = [], set()
+    for block, stmt, positions in sites:
+        if positions != [0]:
+            return None
+        key = _use_key(stmt)
+        if key is None or key[0] == "store":
+            return None
+        loads.append((block, stmt, key))
+        if key[0] == "load":
+            keys.add(key[1])
+    return loads, keys
+
+
+def _pred_alloc(blocks, pred_block, rep, param):
+    """The allocation feeding one incoming edge: must be a same-block
+    alloc whose only uses are its init stores and this one phi assign."""
+    if not isinstance(rep, Sym):
+        return None
+    alloc = None
+    for stmt in pred_block.stmts:
+        if stmt.sym.name == rep.name:
+            alloc = stmt
+    if alloc is None or alloc.effect is not Effect.ALLOC:
+        return None
+    shape = _shape_of(alloc)
+    if shape is None:
+        return None
+    sites, term_count = _uses_of(blocks, rep.name)
+    if term_count != 1:              # exactly the one phi assign
+        return None
+    env = _initial_env(alloc, shape)
+    stores = []
+    for block, stmt, positions in sites:
+        if block is not pred_block or positions != [0]:
+            return None
+        key = _use_key(stmt)
+        if key is None or key[0] != "store" or stmt.op == "putfield_stablecheck":
+            return None
+        if not _kind_matches(shape, stmt) or key[1] not in shape[2]:
+            return None
+        stores.append(stmt)
+    for stmt in pred_block.stmts:     # program order
+        if stmt in stores:
+            env[_use_key(stmt)[1]] = stmt.args[2]
+    return alloc, shape, env, stores
+
+
+def _explode_param(blocks, preds, merge, param, escaping, sunk):
+    if param in escaping:
+        return False
+    uses = _param_loads(blocks, param)
+    if uses is None:
+        return False
+    loads, keys = uses
+    # Every incoming edge must pass an eligible allocation of one shape.
+    edges = []
+    shape0 = None
+    for pid in preds[merge.block_id]:
+        pred = blocks[pid]
+        term = pred.terminator
+        if isinstance(term, Branch) \
+                and term.true_target == term.false_target:
+            return False
+        assigns = _edge_assigns(term, merge.block_id)
+        if assigns is None:
+            return False
+        rep = dict(assigns).get(param)
+        found = _pred_alloc(blocks, pred, rep, param)
+        if found is None:
+            return False
+        alloc, shape, env, stores = found
+        if shape0 is None:
+            shape0 = shape
+        elif shape[:2] != shape0[:2]:
+            return False
+        edges.append((pred, assigns, rep, alloc, env, stores))
+    if shape0 is None:               # unreachable merge: leave it alone
+        return False
+    for key in keys:
+        if key not in shape0[2]:
+            return False
+    if not _kind_matches_all(shape0, loads):
+        return False
+
+    # -- commit ------------------------------------------------------------
+    new_params = [_field_param(param, k) for k in sorted(keys, key=str)]
+    at = merge.params.index(param)
+    merge.params[at:at + 1] = new_params
+    for pred, _assigns, _rep, alloc, env, stores in edges:
+        exploded = [(_field_param(param, k),
+                     _member_default(shape0, k, env))
+                    for k in sorted(keys, key=str)]
+        _rewrite_edge(pred.terminator, merge.block_id, param, exploded)
+        pred.stmts[:] = [
+            _neutralize(s) if s in stores else s
+            for s in pred.stmts if s is not alloc]
+        sunk.append(describe_alloc(alloc))
+    for block, stmt, (kind, key) in loads:
+        if kind == "alen":
+            value = ConstRep(shape0[1])
+        else:
+            value = Sym(_field_param(param, key))
+        at = block.stmts.index(stmt)
+        block.stmts[at] = Stmt(stmt.sym, "id", (value,), Effect.PURE,
+                               stmt.flags)
+    return True
+
+
+def _kind_matches_all(shape, loads):
+    return all(_kind_matches(shape, stmt) for __, stmt, __ in loads)
+
+
+def _field_param(param, key):
+    return "%s_%s" % (param, key)
+
+
+def _edge_assigns(term, target):
+    if isinstance(term, Jump):
+        return term.phi_assigns if term.target == target else None
+    if isinstance(term, Branch):
+        if term.true_target == target:
+            return term.true_assigns
+        if term.false_target == target:
+            return term.false_assigns
+    return None
+
+
+def _rewrite_edge(term, target, param, exploded):
+    def rewrite(assigns):
+        out = []
+        for name, rep in assigns:
+            if name == param:
+                out.extend(exploded)
+            else:
+                out.append((name, rep))
+        assigns[:] = out
+
+    if isinstance(term, Jump) and term.target == target:
+        rewrite(term.phi_assigns)
+    elif isinstance(term, Branch):
+        if term.true_target == target:
+            rewrite(term.true_assigns)
+        if term.false_target == target:
+            rewrite(term.false_assigns)

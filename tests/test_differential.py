@@ -167,7 +167,11 @@ class TestDifferential:
 
 # Option variants that must not change observable behaviour: inlining
 # policies, loop-unroll budget clamped, unit cache off, partial-evaluation
-# aggressiveness dialed down, fusion off.
+# aggressiveness dialed down, fusion off, analysis-powered optimization
+# passes off (and one at a time).
+NO_OPT = CompileOptions(opt_gvn=False, opt_licm=False,
+                        opt_scalar_replace=False, opt_range_guards=False)
+
 OPTION_VARIANTS = [
     CompileOptions(inline_policy="never"),
     CompileOptions(inline_policy="always"),
@@ -175,6 +179,11 @@ OPTION_VARIANTS = [
     CompileOptions(unit_cache=False),
     CompileOptions(delite_fusion=False, fold_val_fields=False),
     CompileOptions(assume_static_arrays=False, speculate_stable=False),
+    NO_OPT,
+    CompileOptions(opt_gvn=False),
+    CompileOptions(opt_licm=False),
+    CompileOptions(opt_scalar_replace=False),
+    CompileOptions(opt_range_guards=False),
 ]
 
 
@@ -312,3 +321,81 @@ class TestJsDifferential:
         assert lines, (source, proc.stdout)
         assert lines[-1] == "RESULT:%s" % expected, source
         assert lines[:-1] == _normalize_js_lines(expected_out), source
+
+
+# -- optimized vs unoptimized --------------------------------------------------
+# The analysis-powered passes (GVN, LICM, scalar replacement, range-based
+# guard pruning) must be semantics-preserving on every backend: the same
+# post-pipeline IR feeds Python, JS, and SQL code generation.
+
+class TestOptimizationDifferential:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(guest_program(), st.integers(-20, 20), st.integers(-20, 20))
+    def test_optimized_equals_unoptimized_python(self, source, a, b):
+        jit = Lancet()
+        jit.load(source)
+
+        def observe(options):
+            err = result = None
+            try:
+                result = jit.compile_function("Main", "f",
+                                              options=options)(a, b)
+            except GuestError as exc:
+                err = type(exc)
+            out = jit.vm.output()
+            jit.vm.clear_output()
+            return err, result, out
+
+        plain = observe(NO_OPT)
+        optimized = observe(CompileOptions())
+        assert optimized == plain, source
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(st.sampled_from(["x > 0", "x * 2 == 10 || x == 0",
+                            "x >= 0 && x < 100", "x % 7 != 3",
+                            "x + x > x * 2 - 1"]),
+           st.integers(-20, 20))
+    def test_optimized_equals_unoptimized_sql(self, body, value):
+        """Both variants must render to SQL and agree as predicates (the
+        mini database cannot execute SQL text, so the compiled host
+        callables stand in for the rendered expression — the SQL backend
+        consumes exactly the post-pipeline IR they were built from)."""
+        from repro.backends.sql import predicate_to_sql
+
+        def observe(options):
+            jit = Lancet(options=options)
+            jit.load("def mk() { return fun(x) => %s; }" % body,
+                     module="Preds")
+            closure = jit.vm.call("Preds", "mk")
+            sql, compiled = predicate_to_sql(jit, closure, "col")
+            return sql, compiled(value)
+
+        plain_sql, plain = observe(NO_OPT)
+        opt_sql, optimized = observe(CompileOptions())
+        assert plain_sql and opt_sql
+        assert optimized == plain, body
+
+    @pytest.mark.skipif(NODE is None, reason="node interpreter not available")
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(js_guest_program(), st.integers(-20, 20), st.integers(-20, 20))
+    def test_optimized_equals_unoptimized_js(self, source, a, b):
+        from repro.backends.javascript import cross_compile_js
+
+        def observe(options):
+            jit = Lancet(options=options)
+            jit.load(source)
+            js = cross_compile_js(jit, "Main", "f")
+            harness = "%s\nconsole.log('RESULT:' + String(f(%d, %d)));\n" \
+                % (js, a, b)
+            proc = subprocess.run([NODE, "-e", harness],
+                                  capture_output=True, text=True, timeout=60)
+            assert proc.returncode == 0, (source, proc.stderr)
+            return _normalize_js_lines(proc.stdout)
+
+        assert observe(CompileOptions()) == observe(NO_OPT), source

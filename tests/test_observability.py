@@ -243,9 +243,10 @@ class TestTraceOfCompilation:
         assert "removed_stmts" in data and "removed_guards" in data
 
     def test_analysis_verify_fail_event(self):
-        from repro.analysis import AnalysisPipeline, Diagnostics
+        from repro.analysis import Diagnostics
         from repro.compiler.stagedinterp import CompileResult
         from repro.lms.ir import Block, Jump
+        from repro.pipeline.passes import PassManager
 
         bad = Block(0)
         bad.terminator = Jump(99)            # corrupted CFG
@@ -255,8 +256,8 @@ class TestTraceOfCompilation:
             taint_branch_sinks=[], noalloc_sites=[])
         tel = Telemetry().enable_trace()
         diag = Diagnostics(unit="bad")
-        AnalysisPipeline(CompileOptions(verify_ir=True), telemetry=tel,
-                         diagnostics=diag).run(result, "bad")
+        PassManager(CompileOptions(verify_ir=True), telemetry=tel,
+                    diagnostics=diag).run(result, "bad", tier=2)
         fails = tel.events("analysis.verify_fail")
         assert fails and fails[0].data["unit"] == "bad"
         assert any("missing block" in e for e in fails[0].data["errors"])

@@ -254,7 +254,8 @@ class TestPassManagerTiers:
         compiled = j.compile_function("Main", "calc")
         stats = compiled.report.pass_stats
         assert [s["pass"] for s in stats] == \
-            ["fuse", "dce", "guards", "taint", "alloc"]
+            ["fuse", "gvn", "licm", "sink", "range", "dce", "guards",
+             "taint", "alloc"]
         for s in stats:
             assert s["blocks_after"] <= s["blocks_before"]
             assert s["seconds"] >= 0
