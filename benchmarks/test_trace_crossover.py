@@ -1,0 +1,113 @@
+"""Trace-vs-method crossover benchmark (ISSUE 6 satellite).
+
+On a megamorphic call-heavy loop the method compiler must residualize
+the dynamic dispatch (the receiver class is unknowable at staging time),
+so every iteration pays an interpreter ``invoke``. Tier-T records
+through the *observed* receivers and stitches one class-guarded bridge
+per hot class — an emergent polymorphic inline cache — so its steady
+state must be strictly faster than the Tier-2 method compile.
+
+The flip side is asserted too: on monomorphic straight-line loops the
+trace tier's back-edge policy defers to the method ladder, which covers
+the whole method at least as well as a trace would.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import CompileOptions, Lancet
+from repro.pipeline import TIER2
+
+MEGA_SRC = '''
+    class A { def get(x) { return x + 1; } }
+    class B { def get(x) { return x * 2; } }
+    class C { def get(x) { return x - 3; } }
+    def make(k) {
+      if (k == 0) { return new A(); }
+      if (k == 1) { return new B(); }
+      return new C();
+    }
+    def work(n) {
+      var objs = [make(0), make(1), make(2)];
+      var acc = 0;
+      var i = 0;
+      while (i < n) {
+        var o = objs[i % 3];
+        acc = acc + o.get(i);
+        i = i + 1;
+      }
+      return acc;
+    }
+'''
+
+MONO_SRC = '''
+    def calc(n) {
+      var acc = 0;
+      var i = 0;
+      while (i < n) {
+        acc = acc + (i * 3) - 1;
+        i = i + 1;
+      }
+      return acc;
+    }
+'''
+
+N = 3000
+REPEATS = 5
+
+
+def expected_mega(n):
+    fns = [lambda x: x + 1, lambda x: x * 2, lambda x: x - 3]
+    return sum(fns[i % 3](i) for i in range(n))
+
+
+def best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for __ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class TestTraceCrossover:
+    def test_trace_steady_state_beats_method_compile_on_megamorphic(self):
+        expected = expected_mega(N)
+
+        # Method leg: a direct Tier-2 optimizing compile of `work`.
+        jm = Lancet()
+        jm.load(MEGA_SRC)
+        compiled = jm.compile_function("Main", "work")
+        assert compiled(N) == expected
+        t_method = best_of(lambda: compiled(N))
+
+        # Trace leg: warm until every hot receiver class (and the loop
+        # exit) is stitched in, then measure steady state.
+        jt = Lancet(options=CompileOptions(trace_tier=True,
+                                           trace_threshold=10,
+                                           bridge_threshold=3))
+        jt.load(MEGA_SRC)
+        for __ in range(10):
+            assert jt.vm.call("Main", "work", [N]) == expected
+        stats = jt.stats()["traces"]
+        assert stats["compiles"] >= 1
+        assert stats["stitches"] >= 2
+        t_trace = best_of(lambda: jt.vm.call("Main", "work", [N]))
+
+        assert t_trace < t_method, (
+            "Tier-T steady state (%.4fs) should beat the Tier-2 method "
+            "compile (%.4fs) on a megamorphic loop" % (t_trace, t_method))
+
+    def test_monomorphic_loop_prefers_method_tier(self):
+        j = Lancet(options=CompileOptions(trace_tier=True,
+                                          trace_threshold=10))
+        j.load(MONO_SRC)
+        tf = j.compile_tiered("Main", "calc")
+        expected = sum(i * 3 - 1 for i in range(N))
+        for __ in range(10):
+            assert tf(N) == expected
+        # The method ladder promoted the unit; Tier T never recorded.
+        assert tf.tier == TIER2
+        assert j.stats()["traces"]["recordings"] == 0
+        assert j.stats()["traces"]["traces"] == {}

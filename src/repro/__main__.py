@@ -20,6 +20,10 @@ tier ladder), ``--hot-threshold`` and ``--repeat`` (drive promotions);
 the ``--jit-stats`` summary includes the per-tier breakdown. The
 persistent code cache and async compile service are reachable via
 ``--cache-dir DIR``, ``--no-persist``, and ``--compile-workers N``.
+Both ``run`` and ``jit`` accept ``--trace-tier`` to enable Tier T (hot
+loop back-edges record linear traces; the ``--jit-stats`` summary then
+includes a ``traces`` breakdown: recordings, aborts, side exits,
+stitched bridges, blacklists).
 
 Arguments are parsed as Python literals (42, 3.5, "text", True).
 """
@@ -53,6 +57,8 @@ def _options_from(args):
         options.persist = False
     if getattr(args, "compile_workers", None):
         options.compile_workers = args.compile_workers
+    if getattr(args, "trace_tier", False):
+        options.trace_tier = True
     return options
 
 
@@ -88,7 +94,7 @@ def _telemetry_end(jit, args):
 
 
 def cmd_run(args):
-    jit = _load(args.program, args.module)
+    jit = _load(args.program, args.module, options=_options_from(args))
     jit.vm._output_mode = "stdout"
     _telemetry_begin(jit, args)
     result = jit.vm.call(args.module, args.fn,
@@ -199,6 +205,10 @@ def main(argv=None):
                    help="print a JSON stats summary to stderr")
     p.add_argument("--trace-jit", metavar="PATH",
                    help="record JIT events; export as JSONL to PATH")
+    p.add_argument("--trace-tier", action="store_true",
+                   help="enable Tier T: hot loop back-edges record "
+                        "linear traces that compile through the full "
+                        "pass pipeline (stats land in --jit-stats)")
     p.set_defaults(handler=cmd_run)
 
     p = sub.add_parser("jit", help="compile a function, then run it")
@@ -234,6 +244,10 @@ def main(argv=None):
     p.add_argument("--compile-workers", type=int, default=0, metavar="N",
                    help="background compile workers (0 = compile "
                         "synchronously); tier promotions become async")
+    p.add_argument("--trace-tier", action="store_true",
+                   help="enable Tier T: hot loop back-edges record "
+                        "linear traces that compile through the full "
+                        "pass pipeline (stats land in --jit-stats)")
     p.set_defaults(handler=cmd_jit)
 
     p = sub.add_parser("analyze",

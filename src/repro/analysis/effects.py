@@ -40,8 +40,8 @@ LOAD_OPS = ("getfield", "aload", "alen")
 STORE_OPS = ("putfield", "putfield_stablecheck", "astore")
 
 #: Ops that are total for any operands (no guest error possible).
-_ALWAYS_TOTAL = ("eq", "ne", "not", "truthy", "instanceof", "to_str",
-                 "id", "taint", "untaint")
+_ALWAYS_TOTAL = ("eq", "ne", "not", "truthy", "instanceof", "class_is",
+                 "to_str", "id", "taint", "untaint")
 
 #: Infix-foldable ops that are total once staging proved numeric operands
 #: (``flags['num']``); div/mod stay out — a zero divisor raises.

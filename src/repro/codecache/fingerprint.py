@@ -24,10 +24,14 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 
-#: CompileOptions fields that do not influence generated code.
+#: CompileOptions fields that do not influence generated code. The
+#: trace-tier policy counters only decide *when* recording/stitching
+#: happens, not what a recorded trace compiles to; the recording shape
+#: limits (trace_max_ops/trace_max_depth) stay in the signature.
 _NON_CODEGEN_FIELDS = frozenset({
     "unit_cache", "cache_dir", "persist", "compile_workers",
-    "cache_budget_bytes",
+    "cache_budget_bytes", "trace_tier", "trace_threshold",
+    "bridge_threshold", "trace_exit_budget",
 })
 
 
@@ -78,6 +82,20 @@ def unit_fingerprint(jit, method, options, backend="python"):
     return _h([
         "unit %s/%d static=%r" % (method.qualified_name, method.num_params,
                                   method.is_static),
+        "program %s" % program_fingerprint(jit.vm.linker),
+        "options %s" % options_signature(options),
+        "macros %s" % macro_fingerprint(jit.macros),
+        "backend %s" % backend,
+    ])
+
+
+def trace_fingerprint(jit, method, header_bci, options, backend="python"):
+    """The persistent-cache key for a loop-trace unit: a method unit key
+    plus the loop-header bci (one method can anchor several traces)."""
+    return _h([
+        "trace %s/%d@%d static=%r" % (method.qualified_name,
+                                      method.num_params, header_bci,
+                                      method.is_static),
         "program %s" % program_fingerprint(jit.vm.linker),
         "options %s" % options_signature(options),
         "macros %s" % macro_fingerprint(jit.macros),

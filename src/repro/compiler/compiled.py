@@ -111,6 +111,12 @@ class CompiledFunction:
         if tiers is not None:
             # Deopt storms demote tiered units (budget lives in the policy).
             tiers.on_deopt(self)
+        trace_owner = getattr(self, "trace_owner", None)
+        if trace_owner is not None:
+            # Trace side exit: count it, and possibly arm bridge
+            # recording *before* we resume interpreting, so the recorder
+            # shadows exactly the execution the deopt is about to run.
+            trace_owner.on_exit(deopt.meta_id)
         leaf = reconstruct_frames(meta, deopt.lives)
         return self.vm.run_frames(leaf)
 

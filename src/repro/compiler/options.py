@@ -68,6 +68,21 @@ class CompileOptions:
     osr_threshold: int = 100
     deopt_budget: int = 3
 
+    # Tier T, the trace-recording tier (repro.pipeline.tracing): enabled
+    # explicitly (or via REPRO_TRACE_TIER=1). A loop back-edge taken
+    # `trace_threshold` times flips the interpreter into recording mode;
+    # recordings abort past `trace_max_ops` instructions or
+    # `trace_max_depth` inlined guest frames. A guard exit taken
+    # `bridge_threshold` times gets a bridge trace stitched on; a trace
+    # whose exits total `trace_exit_budget` without a bridge absorbing
+    # them is blacklisted back to the interpreter/method ladder.
+    trace_tier: bool = False
+    trace_threshold: int = 30
+    trace_max_ops: int = 3000
+    trace_max_depth: int = 8
+    bridge_threshold: int = 4
+    trace_exit_budget: int = 40
+
     # Memoize compile_function/compile_method per (method, specialization,
     # options) in Lancet.unit_cache; off forces a fresh compilation.
     unit_cache: bool = True

@@ -46,6 +46,7 @@ class Interpreter:
         self.telemetry = None            # set by repro.jit.api.Lancet
         self.profiler = Profiler()
         self.profile = False
+        self.trace_recorder = None       # set by the TraceManager (Tier T)
         self.max_steps = max_steps
         self.steps = 0
         self._output_mode = output
@@ -150,6 +151,15 @@ class Interpreter:
             self.steps += 1
             if max_steps is not None and self.steps > max_steps:
                 raise BudgetExceeded("exceeded %d interpreter steps" % max_steps)
+
+            if profile:
+                # Tier-T recording hook (``jit_merge_point``): re-read
+                # each iteration — a back-edge below can flip it on
+                # mid-loop. Runs *before* the dispatch so the recorder
+                # can peek concrete operands still on the stack.
+                rec = self.trace_recorder
+                if rec is not None:
+                    rec.record(self, frame, ins, bci)
 
             if op is Op.LOAD:
                 frame.push(frame.locals[ins.arg])

@@ -54,6 +54,14 @@ class Profiler:
         reached ``threshold``."""
         return [site for site, n in self.backedges.items() if n >= threshold]
 
+    def polymorphic_in(self, qualified_name, min_classes=2):
+        """Whether any call site inside ``qualified_name`` has seen at
+        least ``min_classes`` distinct receiver classes (the trace tier
+        targets such methods; the method tier residualizes their calls)."""
+        prefix = qualified_name + "@"
+        return any(site.startswith(prefix) and len(ctr) >= min_classes
+                   for site, ctr in self.receiver_types.items())
+
     def monomorphic_sites(self):
         """Call sites that only ever saw a single receiver class."""
         return [site for site, ctr in self.receiver_types.items()

@@ -86,6 +86,10 @@ class Lancet:
             self.compile_service = CompileService(
                 workers=self.options.compile_workers,
                 telemetry=self.telemetry)
+        # Tier T, the trace-recording tier: explicit opt-in (options or
+        # REPRO_TRACE_TIER=1), like every other piece of policy here.
+        if self.options.trace_tier or _os.environ.get("REPRO_TRACE_TIER"):
+            self.enable_trace_tier()
 
     # -- loading -----------------------------------------------------------------
 
@@ -186,6 +190,17 @@ class Lancet:
             lambda: self.compile_function(class_name, method_name,
                                           options=opts),
             priority=PRIORITY_PREFETCH)
+
+    def enable_trace_tier(self):
+        """Arm Tier T: hot loop back-edges record linear traces that
+        compile through the same pipeline and caches as method units
+        (see :mod:`repro.pipeline.tracing`). Idempotent; flips the VM
+        into profiling mode (back-edge counters feed the policy)."""
+        if self.tiers.traces is None:
+            from repro.pipeline.tracing import TraceManager
+            self.tiers.traces = TraceManager(self)
+            self.vm.profile = True
+        return self.tiers.traces
 
     def close(self):
         """Shut down background machinery (compile workers). Safe to
@@ -435,13 +450,15 @@ class Lancet:
             if any(probes.values()):
                 caches[cname] = probes
         tier_timings = {}
-        for t in (1, 2):
+        for t in (1, 2, 3):
             timing = m.timing("compile.tier%d.total" % t)
             if timing:
                 tier_timings[t] = timing
+        compiles_by_tier = {t: m.get("compiles.tier%d" % t) for t in (1, 2)}
+        if m.get("compiles.tier3"):
+            compiles_by_tier[3] = m.get("compiles.tier3")  # trace tier
         tiers = {
-            "compiles_by_tier": {t: m.get("compiles.tier%d" % t)
-                                 for t in (1, 2)},
+            "compiles_by_tier": compiles_by_tier,
             "promotions": m.get("tier.promotions"),
             "demotions": m.get("tier.demotions"),
             "blacklists": m.get("tier.blacklists"),
@@ -470,6 +487,9 @@ class Lancet:
             "deopt_sites": m.get("deopt_sites"),
             "osr_compiles": m.get("osr.compiles"),
             "tiers": tiers,
+            "traces": (self.tiers.traces.snapshot()
+                       if self.tiers.traces is not None
+                       else {"enabled": False}),
             "codecache": codecache,
             "compile_service": (self.compile_service.stats()
                                 if self.compile_service is not None

@@ -143,6 +143,11 @@ class PyCodegen:
         if op == "instanceof":
             return ("%s = isinstance(%s, _Obj) and %s.cls.is_subclass_of(%r)"
                     % (target, r(args[0]), r(args[0]), args[1]))
+        if op == "class_is":
+            # Exact-class test backing trace receiver speculation (the
+            # subclass-aware `instanceof` would admit overriding classes).
+            return ("%s = isinstance(%s, _Obj) and %s.cls.name == %r"
+                    % (target, r(args[0]), r(args[0]), args[1]))
         if op == "new":
             return "%s = _newinst(%s)" % (target, r(args[0]))
         if op == "new_array":

@@ -22,9 +22,12 @@ Three layers, each explicit and program-visible:
 
 from repro.pipeline.backend import Backend, CompilationUnit, get_backend
 from repro.pipeline.passes import PassManager
-from repro.pipeline.tiers import (TIER0, TIER1, TIER2, TierController,
-                                  TieredFunction, TierPolicy, tier_options)
+from repro.pipeline.tiers import (TIER0, TIER1, TIER2, TIER_T,
+                                  TierController, TieredFunction,
+                                  TierPolicy, tier_options)
+from repro.pipeline.tracing import TraceManager, trace_options
 
 __all__ = ["Backend", "CompilationUnit", "get_backend", "PassManager",
-           "TIER0", "TIER1", "TIER2", "TierController", "TieredFunction",
-           "TierPolicy", "tier_options"]
+           "TIER0", "TIER1", "TIER2", "TIER_T", "TierController",
+           "TieredFunction", "TierPolicy", "tier_options", "TraceManager",
+           "trace_options"]

@@ -30,6 +30,7 @@ from __future__ import annotations
 import dataclasses
 
 TIER0, TIER1, TIER2 = 0, 1, 2
+TIER_T = 3     # the trace tier (see repro.pipeline.tracing)
 
 
 def tier_options(base, tier):
@@ -45,6 +46,12 @@ def tier_options(base, tier):
     """
     if tier == TIER2:
         return dataclasses.replace(base, tier=TIER2)
+    if tier == TIER_T:
+        # Tier T compiles recorded traces: the recorder produces
+        # post-staging IR directly, and the PassManager maps unknown
+        # tiers to the full Tier-2 pass list, so the trace gets the
+        # whole optimizing pipeline (GVN/LICM/range/guards) for free.
+        return dataclasses.replace(base, tier=TIER_T)
     if tier == TIER1:
         return dataclasses.replace(
             base, tier=TIER1, inline_policy="never",
@@ -297,6 +304,7 @@ class TierController:
         self._units = {}           # qualified name -> TieredFunction
         self._osr_blacklist = set()  # (qualified name, bci)
         self._in_osr = False
+        self.traces = None         # TraceManager once Tier T is enabled
 
     # -- registry --------------------------------------------------------------
 
@@ -315,7 +323,7 @@ class TierController:
 
     @property
     def armed(self):
-        return bool(self._units)
+        return bool(self._units) or self.traces is not None
 
     # -- deopt routing ---------------------------------------------------------
 
@@ -330,6 +338,15 @@ class TierController:
         """Called by the interpreter on a counted loop back-edge. Returns
         a zero-argument callable to finish the current ``run_frames``
         execution in compiled code, or ``None`` to keep interpreting."""
+        traces = self.traces
+        if traces is not None:
+            cont = traces.on_backedge(self, vm, frame)
+            if cont is not None:
+                return cont
+            if traces.recording is not None:
+                # Method OSR mid-recording would swap the frames the
+                # recorder is shadowing out from under it: hold off.
+                return None
         owner = self._units.get(frame.method.qualified_name)
         if (owner is None or owner.blacklisted
                 or owner.max_tier < TIER2 or self._in_osr):

@@ -209,6 +209,93 @@ class TestOptionMatrix:
             assert got_out == expected_out, (source, opts)
 
 
+# -- trace-tier differential ---------------------------------------------------
+
+
+def trace_lancet(source, **knobs):
+    knobs.setdefault("trace_threshold", 4)
+    knobs.setdefault("bridge_threshold", 3)
+    j = Lancet(options=CompileOptions(trace_tier=True, verify_ir=True,
+                                      **knobs))
+    j.load(source)
+    return j
+
+
+class TestTraceDifferential:
+    """Tier-T leg (ISSUE 6): interpreted, method-compiled, and
+    trace-compiled runs of the same random loopy program must agree.
+    The trace jit is called repeatedly with low thresholds so recording,
+    trace entry, side exits, and bridge stitching all happen mid-run."""
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(guest_program(), st.integers(-20, 20), st.integers(-20, 20))
+    def test_trace_tier_equals_interpreted_and_compiled(self, source, a, b):
+        oracle = Lancet()
+        oracle.load(source)
+        interp_err = interp_result = None
+        try:
+            interp_result = oracle.vm.call("Main", "f", [a, b])
+        except GuestError as exc:
+            interp_err = type(exc)
+        interp_out = oracle.vm.output()
+        oracle.vm.clear_output()
+        expected = (interp_err, interp_result, interp_out)
+
+        comp_err = comp_result = None
+        compiled = oracle.compile_function("Main", "f")
+        try:
+            comp_result = compiled(a, b)
+        except GuestError as exc:
+            comp_err = type(exc)
+        assert (comp_err, comp_result, oracle.vm.output()) == expected, \
+            source
+
+        traced = trace_lancet(source)
+        for _ in range(6):
+            err = result = None
+            try:
+                result = traced.vm.call("Main", "f", [a, b])
+            except GuestError as exc:
+                err = type(exc)
+            out = traced.vm.output()
+            traced.vm.clear_output()
+            assert (err, result, out) == expected, source
+
+    # Deterministic programs engineered to hit guard exits mid-loop: a
+    # branch that flips partway through, plus a modulus branch that
+    # alternates, so the recorded speculation fails while the trace is
+    # live (and again after bridges stitch in).
+    GUARDY_SRC = '''
+        def f(a, b) {
+          var acc = 0;
+          var i = 0;
+          while (i < 60) {
+            if (i < a) { acc = acc + (i * b); }
+            else { acc = acc - i; }
+            if ((i % 7) == 3) { acc = acc + 1; }
+            i = i + 1;
+          }
+          return acc;
+        }
+    '''
+
+    def test_engineered_guard_exits_agree(self):
+        for a, b in [(10, 3), (30, -2), (59, 5), (0, 4)]:
+            oracle = Lancet()
+            oracle.load(self.GUARDY_SRC)
+            expected = oracle.vm.call("Main", "f", [a, b])
+
+            traced = trace_lancet(self.GUARDY_SRC, trace_threshold=5)
+            for _ in range(4):
+                assert traced.vm.call("Main", "f", [a, b]) == expected, \
+                    (a, b)
+            stats = traced.stats()["traces"]
+            assert stats["compiles"] >= 1, (a, b)
+            assert stats["exits"] >= 1, (a, b)
+
+
 # -- JS-backend differential ---------------------------------------------------
 # A magnitude-bounded program generator: every variable assignment is
 # reduced mod 997 and expression depth is capped, so all intermediate
