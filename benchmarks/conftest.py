@@ -4,6 +4,11 @@ produced by ``python benchmarks/harness.py``)."""
 import sys
 import os
 
+# Benchmarks measure the optimizer, not the checkers: the speculation-
+# soundness validators default OFF here (REPRO_VALIDATE=1 in the
+# environment re-enables them, e.g. for the CI smoke artifact).
+os.environ.setdefault("REPRO_VALIDATE", "0")
+
 sys.path.insert(0, os.path.dirname(__file__))
 
 import pytest

@@ -5,11 +5,19 @@
     python -m repro dis program.mj                    # show bytecode
     python -m repro dump program.mj fn                # show generated code
     python -m repro analyze program.mj [fn ...]       # JIT lint report
+    python -m repro validate program.mj [fn ...]      # soundness report
 
 ``analyze`` runs the collect-mode IR analysis pipeline (verifier, taint,
 checkNoAlloc, plus informational findings from the optimization passes)
 over the named functions — every top-level function when none are named —
 and exits nonzero when any error-severity finding is reported.
+
+``validate`` runs the same pipeline but reports only the speculation-
+soundness checkers (IR verifier, per-pass translation validator,
+deopt-state verifier): each tier-2 pass is validated against a
+simulation relation and every guard/side-exit's deopt state is checked
+against bytecode-level liveness. Both subcommands accept ``--strict``
+(exit nonzero on *any* non-info finding, for CI gating) and ``--json``.
 
 ``run`` and ``jit`` accept ``--jit-stats`` (print a JSON stats summary to
 stderr after execution) and ``--trace-jit out.jsonl`` (record JIT telemetry
@@ -146,29 +154,54 @@ def cmd_jit(args):
     return status
 
 
-def cmd_analyze(args):
+def _analysis_names(args):
+    """The functions to analyze: those named, else all top-level ones."""
+    if args.fns:
+        return args.fns
+    with open(args.program) as f:
+        classes = compile_source(f.read(), module=args.module)
+    by_name = {c.name: c for c in classes}
+    module_cls = by_name.get(args.module)
+    if module_cls is None:
+        return None
+    return sorted(module_cls.methods)
+
+
+# Diagnostic kinds reported by the speculation-soundness checkers; the
+# `validate` subcommand filters its report to these.
+_SOUNDNESS_KINDS = ("verify", "validate", "deoptcheck", "compile")
+
+
+def _run_analysis(args, kinds=None):
     jit = _load(args.program, args.module)
-    names = args.fns
-    if not names:
-        with open(args.program) as f:
-            classes = compile_source(f.read(), module=args.module)
-        by_name = {c.name: c for c in classes}
-        module_cls = by_name.get(args.module)
-        if module_cls is None:
-            print("error: no class %s in %s" % (args.module, args.program),
-                  file=sys.stderr)
-            return 2
-        names = sorted(module_cls.methods)
+    names = _analysis_names(args)
+    if names is None:
+        print("error: no class %s in %s" % (args.module, args.program),
+              file=sys.stderr)
+        return 2
+    strict = getattr(args, "strict", False)
     status = 0
     for fn in names:
         diag = jit.analyze(args.module, fn)
+        if kinds is not None:
+            diag.findings = [d for d in diag.findings if d.kind in kinds]
         if args.json:
             print(json.dumps(diag.to_dict(), indent=2, sort_keys=True))
         else:
             print(diag.render())
         if diag.errors():
             status = 1
+        elif strict and any(d.severity != "info" for d in diag.findings):
+            status = 1
     return status
+
+
+def cmd_analyze(args):
+    return _run_analysis(args)
+
+
+def cmd_validate(args):
+    return _run_analysis(args, kinds=_SOUNDNESS_KINDS)
 
 
 def cmd_dis(args):
@@ -258,7 +291,22 @@ def main(argv=None):
     p.add_argument("--module", default="Main")
     p.add_argument("--json", action="store_true",
                    help="emit each report as JSON instead of text")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on any non-info finding")
     p.set_defaults(handler=cmd_analyze)
+
+    p = sub.add_parser("validate",
+                       help="speculation-soundness report: per-pass "
+                            "translation validation + deopt-state checks")
+    p.add_argument("program")
+    p.add_argument("fns", nargs="*", metavar="fn",
+                   help="functions to validate (default: all top-level)")
+    p.add_argument("--module", default="Main")
+    p.add_argument("--json", action="store_true",
+                   help="emit each report as JSON instead of text")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on any non-info finding")
+    p.set_defaults(handler=cmd_validate)
 
     p = sub.add_parser("dis", help="disassemble compiled bytecode")
     p.add_argument("program")

@@ -12,11 +12,14 @@ pipeline runs between staging and code generation:
 * :mod:`repro.analysis.taint` — flow-sensitive taint propagation with
   source→sink path reporting;
 * :mod:`repro.analysis.alloc` — post-optimization ``checkNoAlloc``;
+* :mod:`repro.analysis.validate` — per-pass translation validator
+  (Alive-style simulation checking of each tier-2/trace pass);
+* :mod:`repro.analysis.deoptcheck` — deopt-state verifier (every
+  guard/side-exit's recorded interpreter state against bytecode-level
+  liveness at the target bci);
 * :mod:`repro.analysis.diagnostics` — the "JIT lint" layer.
 
-Pass sequencing lives in :class:`repro.pipeline.passes.PassManager`
-(:mod:`repro.analysis.pipeline` keeps the old ``AnalysisPipeline`` name
-as a shim).
+Pass sequencing lives in :class:`repro.pipeline.passes.PassManager`.
 """
 
 from __future__ import annotations
@@ -24,18 +27,20 @@ from __future__ import annotations
 from repro.analysis.alloc import check_noalloc
 from repro.analysis.dataflow import BackwardAnalysis, ForwardAnalysis, solve
 from repro.analysis.dce import eliminate_dead, eliminate_redundant_guards
+from repro.analysis.deoptcheck import check_bridge_stitch, check_deopt_state
 from repro.analysis.diagnostics import Diagnostic, Diagnostics
 from repro.analysis.fuse import fuse_blocks
 from repro.analysis.liveness import (LivenessAnalysis, live_at,
                                      live_in_sets, live_sets)
-from repro.analysis.pipeline import AnalysisPipeline
 from repro.analysis.taint import TaintAnalysis, find_leaks, taint_path
+from repro.analysis.validate import snapshot_ir, validate_pass
 from repro.analysis.verify import verify_ir
 
 __all__ = [
-    "AnalysisPipeline", "BackwardAnalysis", "Diagnostic", "Diagnostics",
-    "ForwardAnalysis", "LivenessAnalysis", "TaintAnalysis", "check_noalloc",
+    "BackwardAnalysis", "Diagnostic", "Diagnostics",
+    "ForwardAnalysis", "LivenessAnalysis", "TaintAnalysis",
+    "check_bridge_stitch", "check_deopt_state", "check_noalloc",
     "eliminate_dead", "eliminate_redundant_guards", "find_leaks",
-    "fuse_blocks", "live_at", "live_in_sets", "live_sets", "solve",
-    "taint_path", "verify_ir",
+    "fuse_blocks", "live_at", "live_in_sets", "live_sets", "snapshot_ir",
+    "solve", "taint_path", "validate_pass", "verify_ir",
 ]

@@ -8,6 +8,15 @@ program-facing policy, not hidden heuristics. Defaults follow the paper
 from __future__ import annotations
 
 import dataclasses
+import os
+
+
+def _env_validate():
+    """Default for the speculation-soundness checkers: the REPRO_VALIDATE
+    environment variable turns them on (tests/CI) or off (benchmarks);
+    unset means off."""
+    return os.environ.get("REPRO_VALIDATE", "").strip().lower() \
+        not in ("", "0", "false", "no", "off")
 
 
 @dataclasses.dataclass
@@ -42,6 +51,19 @@ class CompileOptions:
     # method(s) before staging.
     verify_ir: bool = False
     verify_bytecode: bool = False
+
+    # Speculation-soundness checkers (repro.analysis.validate /
+    # repro.analysis.deoptcheck), interleaved into the PassManager:
+    # `validate_passes` runs the Alive-style per-pass translation
+    # validator (snapshot before each tier-2/trace pass, check the
+    # simulation relation after); `verify_deopt` runs the deopt-state
+    # verifier at every checkpoint (every guard/side-exit's DeoptMeta
+    # against bytecode-level liveness at the target bci). A failed check
+    # rejects the compile — the unit recompiles with the offending pass
+    # off and a `validate.reject` telemetry event. Default-on under
+    # REPRO_VALIDATE=1 (tests/CI), default-off otherwise (benchmarks).
+    validate_passes: bool = dataclasses.field(default_factory=_env_validate)
+    verify_deopt: bool = dataclasses.field(default_factory=_env_validate)
 
     # Delite accelerator-op fusion (paper 3.4); off for ablations.
     delite_fusion: bool = True

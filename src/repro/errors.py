@@ -134,6 +134,30 @@ class IRVerifyError(CompilationError):
         self.stage = stage
 
 
+class TranslationValidationError(CompilationError):
+    """The per-pass translation validator found an optimization pass that
+    does not simulate its input (a dropped/reordered effect, a
+    strengthened guard, a diverging straight-line segment). The compile
+    is rejected and retried with the offending pass disabled."""
+
+    def __init__(self, message, pass_name="", findings=()):
+        super().__init__(message)
+        self.pass_name = pass_name
+        self.findings = list(findings)
+
+
+class DeoptStateError(CompilationError):
+    """The deopt-state verifier found a side-exit whose recorded
+    interpreter state is unsound: a live value undefined on some path, a
+    live interpreter slot without a template, or a slot mapped to a
+    pruned loop-header parameter (the PR 6 bug class)."""
+
+    def __init__(self, message, pass_name="", findings=()):
+        super().__init__(message)
+        self.pass_name = pass_name
+        self.findings = list(findings)
+
+
 class CompilationWarningList(ReproError):
     """Container surfaced when compiling with ``warnings_as_errors``."""
 

@@ -29,7 +29,8 @@ from repro.compiler.options import CompileOptions
 from repro.compiler.stagedinterp import (AbstractFrame, MachineState,
                                          StagedInterpreter)
 from repro.errors import (CompilationError, CompilationWarningList,
-                          GuestTypeError)
+                          DeoptStateError, GuestTypeError,
+                          TranslationValidationError)
 from repro.interp.interpreter import Interpreter
 from repro.lms.rep import Sym
 from repro.macros.registry import MacroRegistry
@@ -312,9 +313,19 @@ class Lancet:
         report.deopt_sites = machine.deopt_site_count
         report.unroll_clones = machine.unroll_clone_count
         report.macro_expansions = machine.macro_count
-        compiled = self._emit(result, param_names, name, recompile,
-                              fuse=options.delite_fusion, report=report,
-                              options=options, diagnostics=diagnostics)
+        try:
+            compiled = self._emit(result, param_names, name, recompile,
+                                  fuse=options.delite_fusion, report=report,
+                                  options=options, diagnostics=diagnostics)
+        except (TranslationValidationError, DeoptStateError) as exc:
+            # A speculation-soundness checker rejected the optimized IR.
+            # The pipeline mutates IR in place, so re-stage from scratch
+            # with the offending pass off (or, when the failure cannot be
+            # pinned on one gated pass, with the whole optional set off
+            # and validation disarmed — guaranteeing termination).
+            return self._revalidate_fallback(exc, method, receiver,
+                                             options, name, recompile,
+                                             entry_frames, diagnostics)
         if options.warnings_as_errors and result.warnings:
             raise CompilationWarningList(result.warnings)
         report.warnings = len(compiled.warnings)
@@ -346,6 +357,31 @@ class Lancet:
                    unroll_clones=report.unroll_clones,
                    warnings=report.warnings)
         return compiled
+
+    def _revalidate_fallback(self, exc, method, receiver, options, name,
+                             recompile, entry_frames, diagnostics):
+        """Unvalidated-pass-off recompile after a validation reject: turn
+        off exactly the pass the translation validator blamed (keeping
+        the checkers armed for the retry), or — when the finding cannot
+        be attributed to one flag-gated pass — turn off every optional
+        pass and the checkers themselves."""
+        from repro.pipeline.passes import _PASS_FLAG
+        pass_name = getattr(exc, "pass_name", "")
+        flag = _PASS_FLAG.get(pass_name)
+        self.telemetry.inc("validate.rejects")
+        self.telemetry.record("validate.reject", unit=name,
+                              pass_name=pass_name, error=str(exc))
+        if isinstance(exc, TranslationValidationError) and flag:
+            safe = dataclasses.replace(options, **{flag: False})
+        else:
+            safe = dataclasses.replace(
+                options, opt_gvn=False, opt_licm=False,
+                opt_scalar_replace=False, opt_range_guards=False,
+                validate_passes=False, verify_deopt=False)
+        return self._compile_unit(method, receiver, options=safe,
+                                  name=name, recompile=recompile,
+                                  entry_frames=entry_frames,
+                                  diagnostics=diagnostics)
 
     def _emit(self, result, param_names, name, recompile, fuse=True,
               report=None, options=None, diagnostics=None):
@@ -406,7 +442,8 @@ class Lancet:
         :class:`~repro.analysis.diagnostics.Diagnostics`.
         """
         opts = dataclasses.replace(options or self.options,
-                                   verify_ir=True, unit_cache=False)
+                                   verify_ir=True, unit_cache=False,
+                                   validate_passes=True, verify_deopt=True)
         if isinstance(target, Obj):
             method = target.cls.lookup_method("apply")
             if method is None:

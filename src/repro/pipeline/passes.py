@@ -27,8 +27,18 @@ statement counts; a ``pass.run`` trace event fires per pass. The legacy
 ``analysis.*`` phase keys in ``CompileReport.phases`` are kept so
 ``Lancet.stats()['phase_timings']`` stays stable.
 
+With ``CompileOptions.validate_passes``/``verify_deopt`` set, the
+speculation-soundness checkers interleave with the pass list: the
+translation validator (:mod:`repro.analysis.validate`) snapshots the IR
+before each validated pass and checks the simulation relation after it,
+and the deopt-state verifier (:mod:`repro.analysis.deoptcheck`) re-checks
+every guard/side-exit's state map at each checkpoint. Checkpoint timings
+and finding counts land in ``CompileReport.pass_stats`` as
+``validate.<pass>`` entries plus ``validate.fail`` trace events.
+
 In *enforce* mode (normal compilation) violations raise
-:class:`IRVerifyError` / :class:`TaintError` / :class:`NoAllocError`; in
+:class:`IRVerifyError` / :class:`TaintError` / :class:`NoAllocError` /
+:class:`TranslationValidationError` / :class:`DeoptStateError`; in
 *collect* mode (``Lancet.analyze``) they become structured findings on a
 :class:`~repro.analysis.diagnostics.Diagnostics` and compilation
 continues.
@@ -40,10 +50,14 @@ import time
 
 from repro.analysis.alloc import check_noalloc, sunk_detail
 from repro.analysis.dce import eliminate_dead, eliminate_redundant_guards
+from repro.analysis.deoptcheck import check_deopt_state
 from repro.analysis.fuse import fuse_blocks
 from repro.analysis.taint import find_leaks
+from repro.analysis.validate import (VALIDATED_PASSES, snapshot_ir,
+                                     validate_pass)
 from repro.analysis.verify import verify_ir
-from repro.errors import IRVerifyError, NoAllocError, TaintError
+from repro.errors import (DeoptStateError, IRVerifyError, NoAllocError,
+                          TaintError, TranslationValidationError)
 from repro.pipeline.gvn import global_value_numbering
 from repro.pipeline.licm import hoist_loop_invariants
 from repro.pipeline.rangeopt import prune_range_guards
@@ -127,6 +141,45 @@ class PassManager:
                 report.phases[legacy] = report.phases.get(legacy, 0.0) \
                     + seconds
 
+    def _checkpoint(self, pname, snapshot, result, name, report):
+        """One interleaved speculation-soundness check point: the
+        translation validator against ``snapshot`` (when the pass was
+        snapshotted) plus the deopt-state verifier. Raises in enforce
+        mode; returns the finding count in collect mode."""
+        t0 = time.perf_counter()
+        findings = validate_pass(pname, snapshot, result) \
+            if snapshot is not None else []
+        deopt_findings = check_deopt_state(result, unit=name) \
+            if self.options.verify_deopt else []
+        seconds = time.perf_counter() - t0
+        if self.telemetry is not None:
+            self.telemetry.observe("validate.%s" % pname, seconds)
+            self.telemetry.inc("validate.checkpoints")
+        if report is not None:
+            report.pass_stats.append({
+                "pass": "validate.%s" % pname, "seconds": seconds,
+                "findings": len(findings),
+                "deopt_findings": len(deopt_findings),
+            })
+        if not findings and not deopt_findings:
+            return 0
+        self._tel_record("validate.fail", unit=name, pass_name=pname,
+                         findings=list(findings),
+                         deopt_findings=list(deopt_findings))
+        if self.diagnostics is not None:
+            self.diagnostics.extend("error", "validate", findings)
+            self.diagnostics.extend("error", "deoptcheck", deopt_findings)
+            return len(findings) + len(deopt_findings)
+        if findings:
+            raise TranslationValidationError(
+                "translation validation failed for %s after pass %s: %s"
+                % (name, pname, "; ".join(findings)),
+                pass_name=pname, findings=findings)
+        raise DeoptStateError(
+            "deopt-state verification failed for %s after pass %s: %s"
+            % (name, pname, "; ".join(deopt_findings)),
+            pass_name=pname, findings=deopt_findings)
+
     def _verify(self, result, name, stage):
         errors = verify_ir(result.blocks, result.entry_bid,
                            params=result.param_names, metas=result.metas,
@@ -173,6 +226,16 @@ class PassManager:
                    "folded_branches": 0}
         leaks, sites, sunk, range_detail = [], [], [], []
         ir_bad = False
+        validate = self.options.validate_passes
+        deoptchk = self.options.verify_deopt
+        summary["validate_checkpoints"] = 0
+        summary["validate_findings"] = 0
+        if deoptchk:
+            # Baseline checkpoint: the staged IR's deopt state must be
+            # sound before any pass touches it.
+            summary["validate_checkpoints"] += 1
+            summary["validate_findings"] += self._checkpoint(
+                "staged", None, result, name, report)
 
         for pname in self.passes_for(tier):
             if ir_bad and pname in _PASS_FLAG:
@@ -180,6 +243,9 @@ class PassManager:
                 # optimizations over ill-formed IR would only manufacture
                 # bogus findings.
                 continue
+            checked = pname in VALIDATED_PASSES and not ir_bad \
+                and (validate or deoptchk)
+            snapshot = snapshot_ir(result) if checked and validate else None
             t0 = time.perf_counter()
             size_before = _cfg_size(result)
             info = None
@@ -229,6 +295,10 @@ class PassManager:
             else:  # pragma: no cover - pass lists are closed above
                 raise AssertionError("unknown pass %r" % (pname,))
             self._finish_pass(pname, result, t0, size_before, report, info)
+            if checked:
+                summary["validate_checkpoints"] += 1
+                summary["validate_findings"] += self._checkpoint(
+                    pname, snapshot, result, name, report)
 
         summary["blocks"] = len(result.blocks)
         summary["warnings"] = len(result.warnings)
@@ -253,6 +323,12 @@ class PassManager:
                          "hoisted" % summary["licm_hoisted"])
             diag.extend("info", "sink", sunk_detail(sunk))
             diag.extend("info", "range", range_detail)
+            if summary["validate_checkpoints"]:
+                diag.add("info", "validate",
+                         "%d speculation-soundness checkpoint(s), "
+                         "%d finding(s)"
+                         % (summary["validate_checkpoints"],
+                            summary["validate_findings"]))
             return summary
 
         if leaks:

@@ -898,20 +898,24 @@ class TraceManager:
             # nest bridging through the outer loop's increment) cannot
             # be stitched: the pruned back edge has nowhere to carry the
             # new value, so the stitched loop would re-run the bridge
-            # from the entry value forever. Keep the deopt exit instead;
-            # the enclosing loop's own trace covers this path.
-            retained = set(result.blocks[1].params)
-            for slot in trace.live_slots:
-                if "p1_%d" % slot in retained:
-                    continue
-                if rec.shadow[0].locals[slot] != rec.start_root_locals[slot]:
-                    trace.bridge_failed.add(meta_id)
-                    self.telemetry.record(
-                        "trace.abort", site="%s:%d" % trace.site,
-                        mode="stitch", ops=rec.ops,
-                        reason="bridge writes pruned invariant slot %d"
-                               % slot)
-                    return
+            # from the entry value forever. The deopt-state verifier
+            # reports the violation statically (with bci provenance);
+            # keep the deopt exit instead — the enclosing loop's own
+            # trace covers this path.
+            from repro.analysis.deoptcheck import check_bridge_stitch
+            findings = check_bridge_stitch(
+                result, trace.live_slots, rec.start_root_locals,
+                rec.shadow[0].locals, rec.root_method, rec.header_bci)
+            if findings:
+                trace.bridge_failed.add(meta_id)
+                self.telemetry.inc("deoptcheck.bridge_rejects")
+                self.telemetry.record(
+                    "deoptcheck.reject", site="%s:%d" % trace.site,
+                    findings=list(findings))
+                self.telemetry.record(
+                    "trace.abort", site="%s:%d" % trace.site,
+                    mode="stitch", ops=rec.ops, reason=findings[0])
+                return
 
         offset = len(result.metas)
         result.metas.extend(rec.metas)

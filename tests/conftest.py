@@ -2,6 +2,14 @@
 
 from __future__ import annotations
 
+import os
+
+# The speculation-soundness checkers (per-pass translation validation +
+# deopt-state verification) run default-ON across the test suite, so
+# every compile in every test doubles as a validator run. An explicit
+# REPRO_VALIDATE=0 in the environment still wins.
+os.environ.setdefault("REPRO_VALIDATE", "1")
+
 import pytest
 
 from repro import Lancet

@@ -4,8 +4,6 @@ pruning) — both on hand-built IR and end-to-end through the JIT."""
 
 from __future__ import annotations
 
-import warnings
-
 import pytest
 
 from repro import CompileOptions, Lancet
@@ -448,11 +446,10 @@ class TestEndToEnd:
 
 
 class TestDeprecatedShim:
-    def test_analysis_pipeline_warns(self):
-        from repro.analysis.pipeline import AnalysisPipeline
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            AnalysisPipeline(CompileOptions())
-        assert any(issubclass(w.category, DeprecationWarning)
-                   for w in caught)
-        assert any("PassManager" in str(w.message) for w in caught)
+    def test_analysis_pipeline_shim_removed(self):
+        # The deprecated AnalysisPipeline alias is gone; PassManager is
+        # the only pass sequencer.
+        with pytest.raises(ImportError):
+            from repro.analysis.pipeline import AnalysisPipeline  # noqa: F401
+        import repro.analysis as analysis
+        assert not hasattr(analysis, "AnalysisPipeline")
