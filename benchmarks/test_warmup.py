@@ -14,6 +14,9 @@ comparison is best-of-N on fresh VMs to keep CI noise out.
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import os
 import time
 
 import pytest
@@ -85,6 +88,77 @@ class TestWarmupCompileTime:
         assert t1 < t2, ("Tier-1 logreg compile (%.4fs) not faster than "
                          "Tier 2 (%.4fs)" % (t1, t2))
         assert cf1(0) == pytest.approx(cf2(0))
+
+
+BASELINE_KERNEL = '''
+    def kernel(n, seed) {
+      var acc = seed;
+      var lo = 0;
+      var hi = 0;
+      var i = 0;
+      while (i < n) {
+        var t = (acc * 31 + i) % 9973;
+        if (t < 4986) { lo = lo + t; } else { hi = hi + (t - 4986); }
+        var j = 0;
+        while (j < 3) { acc = acc + ((t + j) % 7); j = j + 1; }
+        if ((i % 11) == 0) { acc = acc - Math.min(lo, hi); }
+        i = i + 1;
+      }
+      return acc + lo * 2 - hi;
+    }
+'''
+
+
+class TestBaselineCompileLatency:
+    """The ISSUE 8 headline: template-compiling Tier 1 (no staging, no
+    PassManager, straight to a CPython code object) must cut Tier-1
+    compile latency by >=10x against the staged Tier-1 pipeline on the
+    same unit, while producing byte-identical steady-state results."""
+
+    ARGS = [(0, 1), (50, 7), (200, -3), (500, 12345)]
+
+    def _tier1_seconds(self, baseline, repeats=REPEATS):
+        best = float("inf")
+        cf = None
+        for __ in range(repeats):
+            jit = Lancet()
+            jit.load(BASELINE_KERNEL)
+            opts = dataclasses.replace(
+                tier_options(jit.options, TIER1), baseline=baseline)
+            cf = jit.compile_function("Main", "kernel", options=opts)
+            timing = jit.telemetry.metrics.timing("compile.tier1.total")
+            best = min(best, timing["total"])
+        return best, cf
+
+    @pytest.mark.skipif(
+        "not __import__('repro.baseline', fromlist=['x'])"
+        ".baseline_supported()",
+        reason="baseline templates target CPython 3.11")
+    def test_baseline_tier1_latency_10x_under_staged(self):
+        t_base, cf_base = self._tier1_seconds(baseline=True)
+        t_staged, cf_staged = self._tier1_seconds(baseline=False)
+        assert cf_base.kind == "baseline"
+        assert getattr(cf_staged, "kind", None) != "baseline"
+
+        # Byte-identical steady state: integer kernel, exact equality.
+        results_base = [cf_base(*a) for a in self.ARGS]
+        results_staged = [cf_staged(*a) for a in self.ARGS]
+        assert results_base == results_staged
+
+        report = {
+            "kernel": "Main.kernel",
+            "tier1_baseline_seconds": t_base,
+            "tier1_staged_seconds": t_staged,
+            "speedup": t_staged / t_base if t_base else float("inf"),
+            "results_identical": results_base == results_staged,
+        }
+        artifact = os.environ.get("REPRO_LATENCY_JSON")
+        if artifact:
+            with open(artifact, "w") as f:
+                json.dump(report, f, indent=2)
+        assert t_staged >= 10.0 * t_base, (
+            "baseline Tier-1 compile (%.6fs) not >=10x under staged "
+            "Tier 1 (%.6fs)" % (t_base, t_staged))
 
 
 class TestSteadyState:

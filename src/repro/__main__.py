@@ -25,7 +25,11 @@ events and export them as JSONL). ``jit`` also accepts ``--analyze``
 (print the JIT lint report — collect-mode IR analysis — to stderr),
 ``--tier`` (fixed Tier 1/2 compile, or ``--tier 0`` to enter through the
 tier ladder), ``--hot-threshold`` and ``--repeat`` (drive promotions);
-the ``--jit-stats`` summary includes the per-tier breakdown. The
+the ``--jit-stats`` summary includes the per-tier breakdown (with
+per-tier compile-latency aggregates under ``tiers.latency``). Tier-1
+compiles take the template baseline derived from the interpreter's
+handler table; ``--no-baseline`` (or ``REPRO_BASELINE=0``) forces the
+staged Tier-1 pipeline instead, for A/B comparisons. The
 persistent code cache and async compile service are reachable via
 ``--cache-dir DIR``, ``--no-persist``, and ``--compile-workers N``.
 Both ``run`` and ``jit`` accept ``--trace-tier`` to enable Tier T (hot
@@ -67,6 +71,8 @@ def _options_from(args):
         options.compile_workers = args.compile_workers
     if getattr(args, "trace_tier", False):
         options.trace_tier = True
+    if getattr(args, "no_baseline", False):
+        options.baseline = False
     return options
 
 
@@ -281,6 +287,10 @@ def main(argv=None):
                    help="enable Tier T: hot loop back-edges record "
                         "linear traces that compile through the full "
                         "pass pipeline (stats land in --jit-stats)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="route Tier-1 compiles through the staged "
+                        "pipeline instead of the template baseline "
+                        "(A/B comparisons; also REPRO_BASELINE=0)")
     p.set_defaults(handler=cmd_jit)
 
     p = sub.add_parser("analyze",

@@ -1,0 +1,21 @@
+"""Tier-1 baseline compiler, derived from the interpreter (Druid-style).
+
+The interpreter's per-opcode handler table (:mod:`repro.interp.handlers`)
+is the single source of truth for guest semantics; this package
+template-compiles each handler to CPython bytecode — no staging, no
+source text, no ``exec``-compile — giving a tier-1 compile that is
+orders of magnitude cheaper than the staged pipeline (see
+DESIGN.md, "Deriving the baseline from the handler table").
+"""
+
+from repro.baseline.compiler import (BaselineFunction, BaselineUnsupported,
+                                     baseline_namespace, baseline_supported,
+                                     compile_baseline)
+
+__all__ = [
+    "BaselineFunction",
+    "BaselineUnsupported",
+    "baseline_namespace",
+    "baseline_supported",
+    "compile_baseline",
+]

@@ -1,0 +1,209 @@
+"""A small CPython bytecode assembler for the baseline tier.
+
+Emits real code objects via :class:`types.CodeType` construction — the
+same relocation/label discipline as :mod:`repro.bytecode.assembler`, but
+targeting the host's instruction set instead of the MiniJVM's. Only the
+slice of CPython 3.11 needed by the baseline templates is supported:
+
+* per-opcode inline cache entries (``CACHE``) are inserted from
+  ``opcode._inline_cache_entries``;
+* all jumps are relative (measured in code units from the end of the
+  jump instruction *including* its caches); backward jumps negate the
+  displacement;
+* ``EXTENDED_ARG`` prefixes are resolved to a fixpoint, since widening
+  one instruction can push a jump target across a 256-unit boundary.
+
+Assembly sits directly on the tier-1 compile-latency path (the whole
+point of the baseline is a ~10x cheaper compile), so the encoding works
+on pre-resolved ``(opcode, arg, jump-target, cache-count)`` entries:
+opname and cache-count lookups happen once at emission, never per
+layout round.
+
+The emitted code objects carry empty line/exception tables (there is no
+guest source mapping to preserve — tracebacks surface through the
+runtime helpers, which are ordinary Python functions) and marshal
+cleanly, which is what lets baseline units persist in the on-disk code
+cache.
+"""
+
+from __future__ import annotations
+
+import opcode as _opcode
+import sys
+import types
+
+#: the CPython version this assembler targets. The baseline tier
+#: degrades gracefully elsewhere (back to the staged tier-1 compile)
+#: rather than chasing each release's bytecode format.
+SUPPORTED = sys.version_info[:2] == (3, 11)
+
+_OPMAP = _opcode.opmap
+_CACHE = _OPMAP.get("CACHE", 0)
+_EXT = _OPMAP["EXTENDED_ARG"]
+_ICE = getattr(_opcode, "_inline_cache_entries", None)
+
+#: opname -> (opcode, inline-cache entries), resolved once at import.
+_OPINFO = {name: (op, _ICE[op] if _ICE is not None else 0)
+           for name, op in _OPMAP.items()}
+
+#: pre-rendered CACHE filler, indexed by entry count.
+_CACHE_BYTES = [bytes((_CACHE, 0)) * k
+                for k in range((max(_ICE) if _ICE else 0) + 1)]
+
+#: jump opcode per (backward, condition): condition None is an
+#: unconditional jump, True/False are pop-and-jump-if-truthy/falsy.
+_JUMPS = {
+    (False, None): _OPINFO.get("JUMP_FORWARD", (0, 0)),
+    (True, None): _OPINFO.get("JUMP_BACKWARD", (0, 0)),
+    (False, True): _OPINFO.get("POP_JUMP_FORWARD_IF_TRUE", (0, 0)),
+    (True, True): _OPINFO.get("POP_JUMP_BACKWARD_IF_TRUE", (0, 0)),
+    (False, False): _OPINFO.get("POP_JUMP_FORWARD_IF_FALSE", (0, 0)),
+    (True, False): _OPINFO.get("POP_JUMP_BACKWARD_IF_FALSE", (0, 0)),
+}
+
+
+class PyAssembler:
+    """Collects host instructions + labels, assembles a code object.
+
+    Instructions are emitted with :meth:`emit` (literal opname + arg),
+    :meth:`jump` (label-relative control flow, direction declared by the
+    caller), and the convenience const/name/global helpers. Labels are
+    arbitrary hashable values bound to the *next* instruction by
+    :meth:`mark`. Non-jump entries are immutable tuples, so callers may
+    replay cached instruction sequences with ``instrs.extend``.
+    """
+
+    def __init__(self):
+        self.instrs = []        # (op, arg, target-label-or-None, caches)
+        self.labels = {}        # label -> instruction index
+        self._jump_ix = []      # indices of jump entries, for _resolve
+        self._consts = []
+        self._const_index = {}  # (type, value) -> index
+        self._names = []
+        self._name_index = {}
+
+    # -- pools -----------------------------------------------------------------
+
+    def const(self, value):
+        """Intern ``value`` in the constants pool (type-aware dedup, so
+        ``1``/``True``/``1.0`` stay distinct)."""
+        key = (type(value), value)
+        idx = self._const_index.get(key)
+        if idx is None:
+            idx = len(self._consts)
+            self._consts.append(value)
+            self._const_index[key] = idx
+        return idx
+
+    def name(self, n):
+        idx = self._name_index.get(n)
+        if idx is None:
+            idx = len(self._names)
+            self._names.append(n)
+            self._name_index[n] = idx
+        return idx
+
+    # -- emission --------------------------------------------------------------
+
+    def emit(self, opname, arg=0):
+        op, caches = _OPINFO[opname]
+        self.instrs.append((op, arg, None, caches))
+
+    def emit_const(self, value):
+        self.emit("LOAD_CONST", self.const(value))
+
+    def emit_global(self, n):
+        """LOAD_GLOBAL with the push-NULL bit set (3.11 call protocol:
+        NULL + callable + args)."""
+        self.emit("LOAD_GLOBAL", (self.name(n) << 1) | 1)
+
+    def mark(self, label):
+        self.labels[label] = len(self.instrs)
+
+    def jump(self, label, cond=None, backward=False):
+        """Emit a jump to ``label``. The caller declares the direction —
+        guest lowering is monotone, so the guest-bytecode comparison
+        (``target <= i``) is also the host direction."""
+        op, caches = _JUMPS[(backward, cond)]
+        self._jump_ix.append(len(self.instrs))
+        self.instrs.append([op, 0, label, caches])
+
+    # -- assembly --------------------------------------------------------------
+
+    def _resolve(self):
+        """Rewrite jump labels to concrete instruction indices."""
+        labels = self.labels
+        instrs = self.instrs
+        for j in self._jump_ix:
+            entry = instrs[j]
+            entry[2] = labels[entry[2]]
+
+    def _layout(self):
+        """Fixpoint EXTENDED_ARG layout: per-instruction code-unit
+        offsets, widening until no argument outgrows its encoding. Only
+        jumps and wide literal args can ever need a prefix, so the
+        widening pass scans just those."""
+        instrs = self.instrs
+        n = len(instrs)
+        ext = [0] * n
+        offs = [0] * n
+        cands = [i for i, e in enumerate(instrs)
+                 if e[2] is not None or e[1] > 255]
+        for _ in range(5):
+            pos = 0
+            for i, e in enumerate(instrs):
+                offs[i] = pos
+                pos += 1 + ext[i] + e[3]
+            changed = False
+            for i in cands:
+                e = instrs[i]
+                target = e[2]
+                if target is not None:
+                    value = offs[target] - (offs[i] + 1 + ext[i] + e[3])
+                    if value < 0:
+                        value = -value
+                else:
+                    value = e[1]
+                need = 0
+                v = value >> 8
+                while v:
+                    need += 1
+                    v >>= 8
+                if need > ext[i]:
+                    ext[i] = need
+                    changed = True
+            if not changed:
+                return offs, ext
+        raise AssertionError("EXTENDED_ARG layout did not converge")
+
+    def assemble(self, argcount, varnames, stacksize, name,
+                 filename="<baseline>"):
+        if not SUPPORTED:  # pragma: no cover - callers gate on SUPPORTED
+            raise RuntimeError("baseline assembler requires CPython 3.11")
+        self._resolve()
+        offs, ext = self._layout()
+        out = bytearray()
+        append = out.append
+        cache_bytes = _CACHE_BYTES
+        for i, (op, arg, target, caches) in enumerate(self.instrs):
+            e = ext[i]
+            if target is not None:
+                value = offs[target] - (offs[i] + 1 + e + caches)
+                if value < 0:
+                    value = -value       # backward opcodes negate
+            else:
+                value = arg
+            if e:
+                for k in range(e, 0, -1):
+                    append(_EXT)
+                    append((value >> (8 * k)) & 0xFF)
+                value &= 0xFF
+            append(op)
+            append(value)
+            if caches:
+                out += cache_bytes[caches]
+        return types.CodeType(
+            argcount, 0, 0, len(varnames), stacksize,
+            3,                       # CO_OPTIMIZED | CO_NEWLOCALS
+            bytes(out), tuple(self._consts), tuple(self._names),
+            tuple(varnames), filename, name, name, 1, b"", b"", (), ())

@@ -77,16 +77,26 @@ def macro_fingerprint(registry):
     return registry.version
 
 
-def unit_fingerprint(jit, method, options, backend="python"):
-    """The persistent-cache key for one static compilation unit."""
-    return _h([
-        "unit %s/%d static=%r" % (method.qualified_name, method.num_params,
-                                  method.is_static),
+def unit_fingerprint(jit, method, options, backend="python", kind="unit"):
+    """The persistent-cache key for one static compilation unit.
+
+    ``kind`` separates representations that share every other input:
+    a ``baseline`` unit persists a marshaled CPython code object, so its
+    key additionally covers the host bytecode magic — a cached entry
+    from another CPython must read as a miss, not a corrupt entry.
+    """
+    parts = [
+        "%s %s/%d static=%r" % (kind, method.qualified_name,
+                                method.num_params, method.is_static),
         "program %s" % program_fingerprint(jit.vm.linker),
         "options %s" % options_signature(options),
         "macros %s" % macro_fingerprint(jit.macros),
         "backend %s" % backend,
-    ])
+    ]
+    if kind == "baseline":
+        import importlib.util
+        parts.append("magic %s" % importlib.util.MAGIC_NUMBER.hex())
+    return _h(parts)
 
 
 def trace_fingerprint(jit, method, header_bci, options, backend="python"):

@@ -79,12 +79,76 @@ def _meta_from_json(d, linker):
 # -- entry building ----------------------------------------------------------
 
 
+def _baseline_payload(compiled, fingerprint, options, backend):
+    """Baseline units persist their marshaled CPython code object — no
+    source, no metas, no statics by construction (the runtime-helper
+    namespace is rebuilt by name at load). The host bytecode magic is
+    stored so a different CPython reads a clean miss."""
+    import base64
+    import importlib.util
+    import marshal
+    if compiled.method.class_name is None:
+        raise Unpersistable("baseline unit's method has no class")
+    return {
+        "unit": compiled.name,
+        "fingerprint": fingerprint,
+        "tier": getattr(compiled, "tier", options.tier),
+        "backend": backend,
+        "kind": "baseline",
+        "cls": compiled.method.class_name,
+        "method": compiled.method.name,
+        "magic": importlib.util.MAGIC_NUMBER.hex(),
+        "code": base64.b64encode(
+            marshal.dumps(compiled.code_object)).decode("ascii"),
+        "warnings": [str(w) for w in compiled.warnings],
+    }
+
+
+def _baseline_rehydrate(payload, jit, recompile):
+    """Rebuild a BaselineFunction from its marshaled code object.
+    Returns ``None`` on a link/version miss; corrupt marshal bytes
+    raise, which the store quarantines."""
+    import base64
+    import importlib.util
+    import marshal
+    import types
+
+    from repro.baseline import (BaselineFunction, baseline_namespace,
+                                baseline_supported)
+    from repro.observability import CompileReport
+
+    if (not baseline_supported()
+            or payload.get("magic") != importlib.util.MAGIC_NUMBER.hex()):
+        return None
+    rt = jit.vm.linker.classes.get(payload["cls"])
+    method = rt.lookup_method(payload["method"]) if rt is not None else None
+    if method is None:
+        return None
+    code = marshal.loads(base64.b64decode(payload["code"]))
+    if not isinstance(code, types.CodeType):
+        raise Unpersistable("baseline payload decoded to %s"
+                            % type(code).__name__)
+    fn = types.FunctionType(code, baseline_namespace(jit, method),
+                            payload["unit"])
+    compiled = BaselineFunction(jit, fn, method, code,
+                                recompile=recompile, name=payload["unit"],
+                                warnings=payload["warnings"])
+    compiled.tier = payload["tier"]
+    report = CompileReport(name=payload["unit"], tier=payload["tier"])
+    report.phases["codecache_load"] = 0.0   # filled by the store
+    report.warnings = len(payload["warnings"])
+    compiled.report = report
+    return compiled
+
+
 def build_payload(compiled, fingerprint, options, backend="python"):
     """Serialize one CompiledFunction to a JSON-safe payload dict.
 
     Raises :class:`Unpersistable` when the unit depends on
     process-private state.
     """
+    if getattr(compiled, "kind", None) == "baseline":
+        return _baseline_payload(compiled, fingerprint, options, backend)
     result = getattr(compiled, "ir", None)
     if result is None:
         raise Unpersistable("no post-pipeline IR attached")
@@ -120,6 +184,8 @@ def rehydrate(payload, jit, recompile=None):
     longer links against this VM (a method or native referenced by the
     deopt metadata is gone) — the caller treats that as a miss.
     """
+    if payload.get("kind") == "baseline":
+        return _baseline_rehydrate(payload, jit, recompile)
     from repro.compiler.compiled import CompiledFunction
     from repro.lms.codegen_py import PyCodegen
     from repro.lms.staging import _Statics

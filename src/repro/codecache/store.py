@@ -90,8 +90,9 @@ class PersistentCodeCache:
 
     # -- keys ------------------------------------------------------------------
 
-    def fingerprint(self, jit, method, options):
-        return unit_fingerprint(jit, method, options, backend=self.backend)
+    def fingerprint(self, jit, method, options, kind="unit"):
+        return unit_fingerprint(jit, method, options, backend=self.backend,
+                                kind=kind)
 
     def _path(self, fingerprint):
         return os.path.join(self.root, fingerprint + _SUFFIX)
@@ -185,7 +186,8 @@ class PersistentCodeCache:
         compiled.persist_key = fingerprint
         self._event("codecache.store", fingerprint=fingerprint,
                     unit=compiled.name, tier=payload["tier"],
-                    bytes=len(payload["source"]))
+                    bytes=len(payload.get("source")
+                              or payload.get("code", "")))
         self._enforce_budget()
         return True
 

@@ -19,6 +19,13 @@ def _env_validate():
         not in ("", "0", "false", "no", "off")
 
 
+def _env_baseline():
+    """Default for the template baseline tier: on unless REPRO_BASELINE
+    disables it (the CI ablation leg and A/B benchmarks set 0)."""
+    return os.environ.get("REPRO_BASELINE", "").strip().lower() \
+        not in ("0", "false", "no", "off")
+
+
 @dataclasses.dataclass
 class CompileOptions:
     # Inlining policy: 'always' | 'nonrec' | 'never' (paper 3.1). Lancet
@@ -89,6 +96,13 @@ class CompileOptions:
     tier2_threshold: int = 8
     osr_threshold: int = 100
     deopt_budget: int = 3
+
+    # Route eligible Tier-1 units (static methods, no receiver
+    # specialization) to the template baseline compiler derived from the
+    # interpreter's handler table (repro.baseline) instead of the cut-
+    # down staged compile. Falls back to the staged path automatically
+    # on CPythons the bytecode assembler does not target.
+    baseline: bool = dataclasses.field(default_factory=_env_baseline)
 
     # Tier T, the trace-recording tier (repro.pipeline.tracing): enabled
     # explicitly (or via REPRO_TRACE_TIER=1). A loop back-edge taken

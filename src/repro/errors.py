@@ -72,6 +72,14 @@ class GuestArithmeticError(GuestError):
     pass
 
 
+class GuestThrow(ReproError):
+    """A guest-level THROW propagating through the host."""
+
+    def __init__(self, value):
+        self.value = value
+        super().__init__("guest exception: %r" % (value,))
+
+
 # ---------------------------------------------------------------------------
 # JIT compilation errors (the paper's explicit-compilation contract)
 # ---------------------------------------------------------------------------

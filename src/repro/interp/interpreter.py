@@ -15,21 +15,14 @@ deoptimization relies on.
 from __future__ import annotations
 
 from repro.bytecode.opcodes import Op
-from repro.errors import GuestError, GuestTypeError, LinkError, ReproError
+from repro.errors import (GuestError, GuestThrow,  # noqa: F401 (re-export)
+                          GuestTypeError, LinkError, ReproError)
 from repro.interp.frame import InterpreterFrame
+from repro.interp.handlers import DISPATCH, _Return
 from repro.interp.profiler import Profiler
-from repro.runtime import ops
 from repro.runtime.linker import Linker
 from repro.runtime.natives import lookup_native
 from repro.runtime.objects import Obj, new_instance
-
-
-class GuestThrow(ReproError):
-    """A guest-level THROW propagating through the host."""
-
-    def __init__(self, value):
-        self.value = value
-        super().__init__("guest exception: %r" % (value,))
 
 
 class BudgetExceeded(ReproError):
@@ -128,7 +121,6 @@ class Interpreter:
         after deoptimization (the frames carry their own ``bci``/stack).
         """
         frame = global_frame
-        return_value = None
         max_steps = self.max_steps
         profile = self.profile
         # Tier controller, when armed: hot back-edges may tier up
@@ -138,6 +130,8 @@ class Interpreter:
             controller = getattr(self.jit, "tiers", None)
             if controller is not None and controller.armed:
                 tiers = controller
+        dispatch = DISPATCH
+        jump_op = Op.JUMP
 
         while frame is not None:
             method = frame.method
@@ -161,53 +155,17 @@ class Interpreter:
                 if rec is not None:
                     rec.record(self, frame, ins, bci)
 
-            if op is Op.LOAD:
-                frame.push(frame.locals[ins.arg])
-            elif op is Op.CONST:
-                frame.push(ins.arg)
-            elif op is Op.STORE:
-                frame.locals[ins.arg] = frame.pop()
-            elif op is Op.ADD:
-                b = frame.pop(); a = frame.pop()
-                frame.push(ops.guest_add(a, b))
-            elif op is Op.SUB:
-                b = frame.pop(); a = frame.pop()
-                frame.push(ops.guest_sub(a, b))
-            elif op is Op.MUL:
-                b = frame.pop(); a = frame.pop()
-                frame.push(ops.guest_mul(a, b))
-            elif op is Op.DIV:
-                b = frame.pop(); a = frame.pop()
-                frame.push(ops.guest_div(a, b))
-            elif op is Op.MOD:
-                b = frame.pop(); a = frame.pop()
-                frame.push(ops.guest_mod(a, b))
-            elif op is Op.NEG:
-                frame.push(ops.guest_neg(frame.pop()))
-            elif op is Op.EQ:
-                b = frame.pop(); a = frame.pop()
-                frame.push(ops.guest_eq(a, b))
-            elif op is Op.NE:
-                b = frame.pop(); a = frame.pop()
-                frame.push(not ops.guest_eq(a, b))
-            elif op is Op.LT:
-                b = frame.pop(); a = frame.pop()
-                frame.push(ops.guest_lt(a, b))
-            elif op is Op.LE:
-                b = frame.pop(); a = frame.pop()
-                frame.push(ops.guest_le(a, b))
-            elif op is Op.GT:
-                b = frame.pop(); a = frame.pop()
-                frame.push(ops.guest_gt(a, b))
-            elif op is Op.GE:
-                b = frame.pop(); a = frame.pop()
-                frame.push(ops.guest_ge(a, b))
-            elif op is Op.NOT:
-                frame.push(not frame.pop())
-            elif op is Op.JUMP:
-                target = ins.arg
-                frame.bci = target
-                if profile and target <= bci:
+            handler = dispatch[op]
+            if handler is None:  # pragma: no cover - verifier precludes this
+                raise GuestError("bad opcode %r" % (op,))
+            result = handler(self, frame, ins.arg)
+            if result is not None:
+                if result.__class__ is _Return:
+                    return result.value
+                frame = result
+            elif profile and op is jump_op:
+                target = frame.bci
+                if target <= bci:
                     # Loop back-edge: count it, and let a hot loop tier
                     # up on the stack (the continuation finishes this
                     # whole run_frames execution in compiled code).
@@ -216,74 +174,8 @@ class Interpreter:
                         cont = tiers.on_backedge(self, frame)
                         if cont is not None:
                             return cont()
-            elif op is Op.JIF_TRUE:
-                if frame.pop():
-                    frame.bci = ins.arg
-            elif op is Op.JIF_FALSE:
-                if not frame.pop():
-                    frame.bci = ins.arg
-            elif op is Op.RET or op is Op.RET_VAL:
-                value = frame.pop() if op is Op.RET_VAL else None
-                frame = frame.parent
-                if frame is None:
-                    return_value = value
-                else:
-                    frame.push(value)
-            elif op is Op.INVOKE:
-                name, argc = ins.arg
-                args = [frame.pop() for __ in range(argc)]
-                args.reverse()
-                receiver = frame.pop()
-                frame = self._invoke_virtual(frame, receiver, name, args)
-            elif op is Op.INVOKE_STATIC:
-                cls_name, name, argc = ins.arg
-                args = [frame.pop() for __ in range(argc)]
-                args.reverse()
-                frame = self._invoke_static(frame, cls_name, name, args)
-            elif op is Op.GETFIELD:
-                frame.push(ops.guest_getfield(frame.pop(), ins.arg))
-            elif op is Op.PUTFIELD:
-                value = frame.pop()
-                ops.guest_putfield(frame.pop(), ins.arg, value)
-            elif op is Op.NEW:
-                frame.push(new_instance(self.linker.resolve_class(ins.arg)))
-            elif op is Op.INSTANCEOF:
-                v = frame.pop()
-                frame.push(isinstance(v, Obj) and v.cls.is_subclass_of(ins.arg))
-            elif op is Op.NEW_ARRAY:
-                n = frame.pop()
-                if not isinstance(n, int) or n < 0:
-                    raise GuestTypeError("bad array length %r" % (n,))
-                frame.push([None] * n)
-            elif op is Op.ALOAD:
-                i = frame.pop(); arr = frame.pop()
-                frame.push(ops.guest_aload(arr, i))
-            elif op is Op.ASTORE:
-                v = frame.pop(); i = frame.pop(); arr = frame.pop()
-                ops.guest_astore(arr, i, v)
-            elif op is Op.ALEN:
-                frame.push(ops.guest_alen(frame.pop()))
-            elif op is Op.ARRAY_LIT:
-                n = ins.arg
-                vals = [frame.pop() for __ in range(n)]
-                vals.reverse()
-                frame.push(vals)
-            elif op is Op.POP:
-                frame.pop()
-            elif op is Op.DUP:
-                frame.push(frame.peek())
-            elif op is Op.SWAP:
-                a = frame.pop(); b = frame.pop()
-                frame.push(a); frame.push(b)
-            elif op is Op.THROW:
-                raise GuestThrow(frame.pop())
-            else:  # pragma: no cover - verifier precludes this
-                raise GuestError("bad opcode %r" % (op,))
 
-            if profile and (op is Op.INVOKE or op is Op.INVOKE_STATIC):
-                pass  # counted inside the _invoke helpers
-
-        return return_value
+        return None
 
     # -- call helpers -------------------------------------------------------------
 

@@ -222,6 +222,16 @@ class Lancet:
                 id(receiver) if receiver is not None else None,
                 dataclasses.astuple(opts))
 
+    def _baseline_eligible(self, method, receiver, options):
+        """Whether this unit takes the template-baseline tier-1 path:
+        opted in, Tier 1, a plain static method (no receiver
+        specialization), on a CPython the assembler targets."""
+        if (options.tier != 1 or not options.baseline
+                or receiver is not None or not method.is_static):
+            return False
+        from repro.baseline import baseline_supported
+        return baseline_supported()
+
     def _cached_unit(self, method, receiver, options, rebuild):
         opts = options or self.options
         if not opts.unit_cache:
@@ -231,7 +241,11 @@ class Lancet:
         # anything. Receiver-specialized units are identity-bound to this
         # process's heap and never persist.
         if self.codecache is not None and receiver is None:
-            fingerprint = self.codecache.fingerprint(self, method, opts)
+            kind = ("baseline"
+                    if self._baseline_eligible(method, None, opts)
+                    else "unit")
+            fingerprint = self.codecache.fingerprint(self, method, opts,
+                                                     kind=kind)
 
             def load_or_build():
                 compiled = self.codecache.load(fingerprint, self,
@@ -257,6 +271,20 @@ class Lancet:
     def _compile_unit(self, method, receiver, options=None, name="unit",
                       recompile=None, entry_frames=None, diagnostics=None):
         options = options or self.options
+        # Tier-1 routing: eligible units take the template baseline
+        # derived from the interpreter's handler table — no staging, no
+        # PassManager, no exec-compile. OSR continuations
+        # (entry_frames) and analyze() runs always stage: they need
+        # mid-method entry / collected diagnostics the templates do not
+        # model. BaselineUnsupported degrades to the staged path.
+        if (entry_frames is None and diagnostics is None
+                and self._baseline_eligible(method, receiver, options)):
+            from repro.baseline import BaselineUnsupported, compile_baseline
+            try:
+                return compile_baseline(self, method, options,
+                                        recompile=recompile, name=name)
+            except BaselineUnsupported:
+                pass
         tel = self.telemetry
         tel.record("compile.start", unit=name, tier=options.tier)
         t_start = time.perf_counter()
@@ -491,6 +519,18 @@ class Lancet:
             timing = m.timing("compile.tier%d.total" % t)
             if timing:
                 tier_timings[t] = timing
+        # Per-tier compile-latency aggregates (count/total/min/max/mean),
+        # the observable form of the baseline-vs-staged latency claim.
+        # "baseline" overlaps tier 1: it is the subset of tier-1
+        # compiles that took the template path.
+        latency = {}
+        for label, tname in (("tier1", "compile.tier1.total"),
+                             ("tier2", "compile.tier2.total"),
+                             ("trace", "compile.tier3.total"),
+                             ("baseline", "compile.baseline.total")):
+            timing = m.timing(tname)
+            if timing:
+                latency[label] = timing
         compiles_by_tier = {t: m.get("compiles.tier%d" % t) for t in (1, 2)}
         if m.get("compiles.tier3"):
             compiles_by_tier[3] = m.get("compiles.tier3")  # trace tier
@@ -501,6 +541,7 @@ class Lancet:
             "blacklists": m.get("tier.blacklists"),
             "osr_tier_ups": m.get("tier.osr_up"),
             "timings": tier_timings,
+            "latency": latency,
             "units": self.tiers.snapshot(),
         }
         if self.codecache is not None:

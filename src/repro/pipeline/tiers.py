@@ -33,6 +33,14 @@ TIER0, TIER1, TIER2 = 0, 1, 2
 TIER_T = 3     # the trace tier (see repro.pipeline.tracing)
 
 
+#: derived-options memo: (astuple(base), tier) -> CompileOptions. The
+#: promotion path calls tier_options on every tier check; rebuilding a
+#: dataclass (two dataclasses.replace-sized allocations plus field
+#: copies) per call was measurable there. Derived objects are shared —
+#: callers must treat them as frozen (use dataclasses.replace to vary).
+_TIER_OPTIONS_CACHE = {}
+
+
 def tier_options(base, tier):
     """Derive the CompileOptions for ``tier`` from ``base``.
 
@@ -42,23 +50,32 @@ def tier_options(base, tier):
     cheap and macros rely on static receivers), stable-field speculation
     (fewer guards), Delite fusion, and the self-checking verifiers. The
     PassManager additionally selects its minimal Tier-1 pass list from
-    ``options.tier``.
+    ``options.tier``. (With ``base.baseline`` on, eligible Tier-1 units
+    skip the staged pipeline entirely — see :mod:`repro.baseline`.)
+
+    Results are memoized per (base contents, tier) and shared.
     """
-    if tier == TIER2:
-        return dataclasses.replace(base, tier=TIER2)
-    if tier == TIER_T:
-        # Tier T compiles recorded traces: the recorder produces
-        # post-staging IR directly, and the PassManager maps unknown
-        # tiers to the full Tier-2 pass list, so the trace gets the
-        # whole optimizing pipeline (GVN/LICM/range/guards) for free.
-        return dataclasses.replace(base, tier=TIER_T)
-    if tier == TIER1:
-        return dataclasses.replace(
-            base, tier=TIER1, inline_policy="never",
-            speculate_stable=False, delite_fusion=False,
-            verify_ir=False, verify_bytecode=False)
-    raise ValueError("no compiled tier %r (tier 0 is the interpreter)"
-                     % (tier,))
+    if tier not in (TIER1, TIER2, TIER_T):
+        raise ValueError("no compiled tier %r (tier 0 is the interpreter)"
+                         % (tier,))
+    key = (dataclasses.astuple(base), tier)
+    derived = _TIER_OPTIONS_CACHE.get(key)
+    if derived is None:
+        if tier == TIER2:
+            derived = dataclasses.replace(base, tier=TIER2)
+        elif tier == TIER_T:
+            # Tier T compiles recorded traces: the recorder produces
+            # post-staging IR directly, and the PassManager maps unknown
+            # tiers to the full Tier-2 pass list, so the trace gets the
+            # whole optimizing pipeline (GVN/LICM/range/guards) for free.
+            derived = dataclasses.replace(base, tier=TIER_T)
+        else:
+            derived = dataclasses.replace(
+                base, tier=TIER1, inline_policy="never",
+                speculate_stable=False, delite_fusion=False,
+                verify_ir=False, verify_bytecode=False)
+        _TIER_OPTIONS_CACHE[key] = derived
+    return derived
 
 
 class TierPolicy:
@@ -138,11 +155,22 @@ class TieredFunction:
 
     # -- tier transitions ------------------------------------------------------
 
+    def _options_for(self, tier):
+        """Per-unit tier options. A demoted unit (``max_tier`` capped at
+        Tier 1) compiles Tier 1 through the staged pipeline even when the
+        baseline is on: baseline code carries no speculation guards, so it
+        could never drain the deopt budget again and the demotion ladder
+        would stall at Tier 1 instead of reaching the blacklist."""
+        opts = self.policy.options_for(tier, base=self.jit.options)
+        if tier == TIER1 and self.max_tier == TIER1 and opts.baseline:
+            opts = dataclasses.replace(opts, baseline=False)
+        return opts
+
     def _build(self, tier):
         """Compile this unit at ``tier`` without installing it (the
         background half of an asynchronous promotion)."""
         jit = self.jit
-        opts = self.policy.options_for(tier, base=jit.options)
+        opts = self._options_for(tier)
         compiled = jit.compile_function(self.class_name, self.method_name,
                                         options=opts)
         compiled.tiered_owner = self
@@ -152,7 +180,7 @@ class TieredFunction:
         """Make ``compiled`` this unit's active code, replacing the old
         tier's unit-cache entry instead of accumulating one per tier."""
         jit = self.jit
-        opts = self.policy.options_for(tier, base=jit.options)
+        opts = self._options_for(tier)
         old_key = self._cache_key
         new_key = jit._unit_key(self.method, None, opts)
         if old_key is not None and old_key != new_key:
@@ -201,8 +229,7 @@ class TieredFunction:
                 # Demoted/blacklisted while we compiled: the result is
                 # stale — drop it (and its unit-cache entry), keep the
                 # interpreter/current tier.
-                opts = self.policy.options_for(to_tier,
-                                               base=self.jit.options)
+                opts = self._options_for(to_tier)
                 self.jit.unit_cache.remove(
                     self.jit._unit_key(self.method, None, opts))
                 self.jit.telemetry.inc("tier.promotions_discarded")
@@ -401,6 +428,75 @@ class TierController:
         finally:
             self._in_osr = False
         return compiled
+
+    # -- OSR from baseline code ------------------------------------------------
+
+    def on_baseline_backedge(self, vm, method, target):
+        """The ``_be`` profiling hook compiled into baseline loop
+        back-edges (the counterpart of :meth:`on_backedge` for code that
+        is no longer interpreting). Returns True when the caller should
+        take its OSR exit — i.e. a synchronous tier-2 compile is both
+        warranted and possible right now."""
+        qualified = method.qualified_name
+        owner = self._units.get(qualified)
+        if (owner is None or owner.blacklisted
+                or owner.max_tier < TIER2 or self._in_osr):
+            return False
+        site = (qualified, target)
+        if site in self._osr_blacklist:
+            return False
+        if vm.profiler.backedge_count(*site) < self.policy.osr_threshold:
+            return False
+        service = self.jit.compile_service
+        if service is not None:
+            # Asynchronous mode: never stall the loop for a compile —
+            # enqueue a top-priority promotion and keep running baseline.
+            if owner.tier < TIER2:
+                from repro.codecache.service import PRIORITY_OSR
+                owner._request_promotion(TIER2, service,
+                                         priority=PRIORITY_OSR)
+            return False
+        return True
+
+    def osr_from_baseline(self, vm, method, target, local_values):
+        """Tier up out of *running* baseline code: rebuild the
+        interpreter frame the baseline's locals correspond to (guest
+        locals map 1:1 onto host fast locals; the hook only fires at
+        stack depth 0), compile it as an OSR continuation, and finish
+        the execution there."""
+        from repro.errors import CompilationError
+        from repro.interp.frame import InterpreterFrame
+
+        frame = InterpreterFrame(method)
+        frame.bci = target
+        for i, value in enumerate(local_values):
+            frame.set_local(i, value)
+        site = (method.qualified_name, target)
+        owner = self._units.get(site[0])
+        self._in_osr = True
+        try:
+            try:
+                compiled = self.jit._compile_unit(
+                    method, receiver=None,
+                    options=self.policy.options_for(TIER2,
+                                                    base=self.jit.options),
+                    name="osr-tier@%s:%d" % site, entry_frames=[frame])
+            except CompilationError:
+                # Uncompilable site: blacklist it and finish this
+                # execution in the interpreter (correct either way).
+                self._osr_blacklist.add(site)
+                return vm.run_frames(frame)
+            tel = self.jit.telemetry
+            tel.inc("tier.osr_up")
+            tel.record("osr.tier_up", unit=site[0], method=site[0],
+                       bci=target,
+                       backedges=vm.profiler.backedge_count(*site),
+                       from_baseline=True)
+            if owner is not None and owner.tier < TIER2:
+                owner._promote(TIER2)
+        finally:
+            self._in_osr = False
+        return compiled()
 
     # -- stats -----------------------------------------------------------------
 

@@ -339,7 +339,14 @@ def to_guest_string(x):
         return repr(x)
     if isinstance(x, list):
         return "[" + ", ".join(to_guest_string(v) for v in x) + "]"
-    return str(x)
+    try:
+        return str(x)
+    except ValueError:
+        # CPython's int->str digit guard (sys.int_max_str_digits) fired.
+        # Surface it as a guest error so every tier fails identically
+        # instead of leaking a host ValueError from whichever tier
+        # happened to render the value.
+        raise GuestError("integer too large to render as a string")
 
 
 @native("Lancet", "reset", 1, calls_guest=True)

@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as _np
 
 from repro.errors import (GuestArithmeticError, GuestIndexError,
-                          GuestNullError, GuestTypeError)
+                          GuestNullError, GuestThrow, GuestTypeError)
 from repro.runtime.objects import Obj
 
 # Guest arrays are Python lists; Delite ops hand numpy arrays back to guest
@@ -126,8 +126,26 @@ def guest_ge(a, b):
     return a >= b
 
 
+def guest_not(a):
+    return not a
+
+
 def guest_truthy(v):
     return bool(v)
+
+
+def guest_instanceof(v, cls_name):
+    return isinstance(v, Obj) and v.cls.is_subclass_of(cls_name)
+
+
+def guest_newarray(n):
+    if not isinstance(n, int) or n < 0:
+        raise GuestTypeError("bad array length %r" % (n,))
+    return [None] * n
+
+
+def guest_throw(v):
+    raise GuestThrow(v)
 
 
 def guest_aload(arr, i):
@@ -175,6 +193,13 @@ def guest_putfield(obj, name, value):
     if not isinstance(obj, Obj):
         raise GuestTypeError("field %r write on %r" % (name, type(obj).__name__))
     obj.put(name, value)
+
+
+def guest_setfield(obj, value, name):
+    """PUTFIELD in operand-stack order (``obj value --`` plus the field
+    name immediate), so the handler table and the baseline templates can
+    pass operands bottom-to-top uniformly."""
+    guest_putfield(obj, name, value)
 
 
 BINOPS = {

@@ -1,0 +1,260 @@
+"""The template-compiled baseline tier (ISSUE 8 tentpole).
+
+Tier-1 compiles of plain static methods route through
+``repro.baseline``: per-opcode templates assembled straight into a
+CPython code object — no staging, no PassManager, no source text. These
+tests pin down (a) observational equivalence with the interpreter
+across the guest feature surface, (b) the routing rules (who gets the
+baseline, who falls back to the staged pipeline), and (c) that the
+tiering machinery — invocation profiling, 1→2 promotion, OSR out of a
+*running* baseline loop, invalidation/recompile — still works when
+Tier 1 is baseline code.
+
+Everything here is gated on :func:`baseline_supported`; on a CPython
+the assembler does not target, Tier 1 silently falls back to the
+staged pipeline and these tests skip.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import CompileOptions, Lancet
+from repro.baseline import BaselineFunction, baseline_supported
+from repro.errors import (GuestArithmeticError, GuestError, GuestNullError,
+                          GuestThrow)
+from repro.pipeline import TIER1, TIER2, tier_options
+from tests.conftest import load
+
+pytestmark = pytest.mark.skipif(
+    not baseline_supported(),
+    reason="baseline templates target CPython 3.11")
+
+
+def compile_t1(jit, cls="Main", fn="f"):
+    return jit.compile_function(cls, fn, options=tier_options(jit.options,
+                                                              TIER1))
+
+
+class TestBaselineCorrectness:
+    """Interpreter vs baseline, feature by feature: same results, same
+    printed output, same guest errors."""
+
+    CASES = [
+        ("""def f(a, b) {
+              var acc = 0; var i = 0;
+              while (i < a) { acc = acc + b * i + (i % 7); i = i + 1; }
+              return acc;
+            }""", [(0, 0), (1, 5), (10, 3), (50, -2)]),
+        ("""def f(a, b) {
+              if (a < b) { return a * b; }
+              else { if (a == b) { return 0 - a; } else { return a / (b + 1); } }
+            }""", [(1, 2), (3, 3), (9, 2), (-4, -9)]),
+        ("""def f(a, b) {
+              var xs = [a, b, a + b];
+              xs[1] = xs[0] * 2;
+              var s = 0; var i = 0;
+              while (i < len(xs)) { s = s + xs[i]; i = i + 1; }
+              return s;
+            }""", [(1, 2), (5, -3)]),
+        ("""def f(a, b) {
+              println("a=" + a);
+              println(a < b);
+              return "r:" + (a + b);
+            }""", [(1, 2), (7, -7)]),
+        ("""def f(a, b) { return Math.max(a, Math.min(b, 10)) + Math.abs(0 - a); }""",
+         [(3, 20), (-4, 2)]),
+    ]
+
+    @pytest.mark.parametrize("source,args_list", CASES)
+    def test_matches_interpreter(self, source, args_list):
+        oracle = load(source)
+        quick = compile_t1(load(source))
+        assert isinstance(quick, BaselineFunction)
+        for args in args_list:
+            expected = oracle.vm.call("Main", "f", list(args))
+            expected_out = oracle.vm.output()
+            oracle.vm.clear_output()
+            assert quick(*args) == expected, source
+            assert quick.jit.vm.output() == expected_out, source
+            quick.jit.vm.clear_output()
+
+    def test_objects_and_virtual_calls(self):
+        src = '''
+            class Point {
+              var x; var y;
+              def init(x, y) { this.x = x; this.y = y; }
+              def norm1() { return Math.abs(this.x) + Math.abs(this.y); }
+            }
+            def f(a, b) {
+              var p = new Point(a, b);
+              p.x = p.x + 1;
+              if (p is Point) { return p.norm1(); }
+              return 0 - 1;
+            }
+        '''
+        oracle = load(src)
+        quick = compile_t1(load(src))
+        for args in [(2, 3), (-5, 4), (0, 0)]:
+            assert quick(*args) == oracle.vm.call("Main", "f", list(args))
+
+    @pytest.mark.parametrize("source,args,err", [
+        ("def f(a, b) { return a / b; }", (1, 0), GuestArithmeticError),
+        ("""class C { var v; }
+            def f(a, b) { var c = null; return c.v; }""",
+         (0, 0), GuestNullError),
+        ("def f(a, b) { throw a + b; }", (1, 2), GuestThrow),
+    ])
+    def test_guest_errors_agree(self, source, args, err):
+        oracle = load(source)
+        with pytest.raises(err):
+            oracle.vm.call("Main", "f", list(args))
+        quick = compile_t1(load(source))
+        with pytest.raises(err):
+            quick(*args)
+
+    def test_recursion_through_baseline(self):
+        src = '''
+            def fib(n) {
+              if (n < 2) { return n; }
+              return Main.fib(n - 1) + Main.fib(n - 2);
+            }
+        '''
+        quick = compile_t1(load(src), fn="fib")
+        assert quick(12) == 144
+
+
+class TestBaselineRouting:
+    SRC = "def f(a, b) { return a * b + 1; }"
+
+    def test_tier1_static_takes_baseline(self):
+        quick = compile_t1(load(self.SRC))
+        assert quick.kind == "baseline"
+        assert quick.tier == TIER1
+        assert quick.report.tier == TIER1
+        for phase in ("baseline.translate", "baseline.assemble",
+                      "baseline.bind"):
+            assert phase in quick.report.phases
+
+    def test_tier2_stays_staged(self):
+        full = load(self.SRC).compile_function("Main", "f")
+        assert getattr(full, "kind", None) != "baseline"
+        assert "def " in full.source
+
+    def test_opt_out_compiles_staged_tier1(self):
+        j = load(self.SRC)
+        opts = dataclasses.replace(tier_options(j.options, TIER1),
+                                   baseline=False)
+        quick = j.compile_function("Main", "f", options=opts)
+        assert getattr(quick, "kind", None) != "baseline"
+        assert quick.tier == TIER1
+        assert quick(6, 7) == 43
+
+    def test_env_var_opt_out(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BASELINE", "0")
+        assert CompileOptions().baseline is False
+
+    def test_instance_methods_fall_back(self):
+        src = '''
+            class Box {
+              var v;
+              def init(v) { this.v = v; }
+              def get() { return this.v; }
+            }
+            def f(a, b) { return new Box(a + b).get(); }
+        '''
+        j = load(src)
+        quick = compile_t1(j)           # static wrapper: baseline
+        assert quick.kind == "baseline"
+        box = j.vm.call("Main", "f", [0, 0])  # warm the class
+        del box
+        rt = j.vm.linker.classes["Box"]
+        method = rt.lookup_method("get")
+        from repro.baseline import BaselineUnsupported, compile_baseline
+        with pytest.raises(BaselineUnsupported):
+            compile_baseline(j, method)
+
+    def test_source_renders_disassembly(self):
+        quick = compile_t1(load(self.SRC))
+        assert quick.source.startswith("# baseline CPython bytecode")
+        assert "BINARY" in quick.source or "CALL" in quick.source
+
+    def test_telemetry_counts_baseline_compiles(self):
+        j = load(self.SRC)
+        compile_t1(j)
+        stats = j.stats()
+        assert stats["tiers"]["compiles_by_tier"].get(1) == 1
+        latency = stats["tiers"]["latency"]
+        assert latency["baseline"]["count"] == 1
+        assert latency["tier1"]["count"] == 1
+
+
+HOT_SRC = '''
+    def hot(n) {
+      var acc = 0;
+      var i = 0;
+      while (i < n) { acc = acc + i; i = i + 1; }
+      return acc;
+    }
+'''
+
+
+def tiered_jit(src=HOT_SRC, **thresholds):
+    j = load(src)
+    j.telemetry.enable_trace()
+    for name, value in thresholds.items():
+        setattr(j.options, name, value)
+    return j
+
+
+class TestBaselineTiering:
+    def test_promotion_1_to_2_from_baseline(self):
+        j = tiered_jit(tier1_threshold=1, tier2_threshold=3,
+                       osr_threshold=10**9)
+        tf = j.compile_tiered("Main", "hot")
+        results = [tf(10) for __ in range(4)]
+        assert results == [45] * 4
+        assert tf.tier == TIER2
+        # The tier-1 leg really was baseline code.
+        starts = [e.data for e in j.telemetry.events("compile.start")]
+        assert any(e.get("baseline") and e["tier"] == TIER1 for e in starts)
+        promotes = [e.data for e in j.telemetry.events("tier.promote")]
+        assert [(e["from_tier"], e["to_tier"]) for e in promotes] == \
+            [(0, 1), (1, 2)]
+
+    def test_osr_exits_running_baseline_loop(self):
+        """A loop hot *inside one baseline call* tiers up mid-execution:
+        the ``_be`` poll fires, locals transfer into an interpreter
+        frame, and the tier-2 OSR continuation finishes the call."""
+        j = tiered_jit(tier1_threshold=1, tier2_threshold=10**9,
+                       osr_threshold=50)
+        tf = j.compile_tiered("Main", "hot")
+        n = 500
+        assert tf(n) == sum(range(n))   # OSR fires inside this call
+        assert tf.tier == TIER2
+        events = [e.data for e in j.telemetry.events("osr.tier_up")]
+        assert len(events) == 1
+        assert events[0]["from_baseline"] is True
+        assert events[0]["unit"] == "Main.hot"
+
+    def test_cold_baseline_loop_never_osrs(self):
+        j = tiered_jit(tier1_threshold=1, tier2_threshold=10**9,
+                       osr_threshold=10**9)
+        tf = j.compile_tiered("Main", "hot")
+        assert tf(200) == sum(range(200))
+        assert tf.tier == TIER1
+        assert not j.telemetry.events("osr.tier_up")
+
+    def test_invalidation_recompiles_baseline(self):
+        j = load(HOT_SRC)
+        quick = compile_t1(j, fn="hot")
+        assert quick(10) == 45
+        assert quick.compile_count == 1
+        j.unit_cache.invalidate_all("test")
+        assert not quick.valid
+        assert quick(10) == 45          # recompile-on-call
+        assert quick.valid
+        assert quick.compile_count == 2
+        assert quick.kind == "baseline"

@@ -271,6 +271,106 @@ class TestPersistentStore:
         assert entry_files(j.codecache.root) == []
 
 
+def load_baseline_cached(tmp_path, source=SRC):
+    """Fresh Lancet whose default options route compiles through the
+    baseline Tier-1 path, persisting into ``tmp_path``."""
+    from repro.pipeline import TIER1, tier_options
+    opts = tier_options(CompileOptions(cache_dir=str(tmp_path / "cc")),
+                        TIER1)
+    return load(source, options=opts)
+
+
+def _rewrap(path, mutate):
+    """Edit a stored entry's payload and re-sign it, so the checksum
+    still verifies and the corruption is only visible to rehydration."""
+    from repro.codecache.store import _checksum
+    with open(path) as f:
+        wrapper = json.load(f)
+    mutate(wrapper["payload"])
+    wrapper["sha256"] = _checksum(wrapper["payload"])
+    with open(path, "w") as f:
+        json.dump(wrapper, f)
+
+
+@pytest.mark.skipif(
+    "not __import__('repro.baseline', fromlist=['x']).baseline_supported()",
+    reason="baseline templates target CPython 3.11")
+class TestBaselinePersistence:
+    """Baseline units persist a *marshaled code object*, not source
+    (ISSUE 8): round trips must skip translate/assemble entirely, and a
+    corrupt code payload must quarantine, never crash or miscompute."""
+
+    def test_round_trip_skips_compile(self, tmp_path):
+        j1 = load_baseline_cached(tmp_path)
+        f1 = j1.compile_function("Main", "addmul")
+        assert f1.kind == "baseline"
+        assert f1(5) == 22
+        assert j1.stats()["codecache"]["stores"] == 1
+
+        j2 = load_baseline_cached(tmp_path)
+        f2 = j2.compile_function("Main", "addmul")
+        assert f2.kind == "baseline"
+        assert f2(5) == 22
+        s2 = j2.stats()
+        assert s2["compiles"] == 0
+        assert s2["codecache"]["hits"] == 1
+        assert f2.persist_key == f1.persist_key
+        # The rehydrated unit is the same marshaled code object.
+        assert f2.code_object.co_code == f1.code_object.co_code
+
+    def test_corrupt_marshal_quarantined_and_recompiled(self, tmp_path):
+        j1 = load_baseline_cached(tmp_path)
+        f1 = j1.compile_function("Main", "addmul")
+        (name,) = entry_files(j1.codecache.root)
+        path = os.path.join(j1.codecache.root, name)
+
+        def clobber(payload):
+            assert payload["kind"] == "baseline"
+            payload["code"] = "AAAA" + payload["code"][4:]
+        _rewrap(path, clobber)
+
+        j2 = load_baseline_cached(tmp_path)
+        f2 = j2.compile_function("Main", "addmul")
+        assert f2(5) == f1(5)
+        s2 = j2.stats()
+        assert s2["compiles"] == 1                 # clean miss, recompiled
+        assert s2["codecache"]["quarantines"] == 1
+        assert os.path.exists(path + ".quarantine")
+
+    def test_magic_mismatch_is_clean_miss(self, tmp_path):
+        """An entry marshaled by a different CPython reads as a miss —
+        no quarantine (the file may belong to another interpreter
+        sharing the directory), no marshal.loads of foreign bytes."""
+        j1 = load_baseline_cached(tmp_path)
+        j1.compile_function("Main", "addmul")
+        (name,) = entry_files(j1.codecache.root)
+        path = os.path.join(j1.codecache.root, name)
+        _rewrap(path, lambda p: p.__setitem__("magic", "deadbeef"))
+
+        j2 = load_baseline_cached(tmp_path)
+        f2 = j2.compile_function("Main", "addmul")
+        assert f2(5) == 22
+        s2 = j2.stats()
+        assert s2["compiles"] == 1
+        assert s2["codecache"]["quarantines"] == 0
+        assert s2["codecache"]["misses"] == 1
+        assert not os.path.exists(path + ".quarantine")
+
+    def test_baseline_and_staged_entries_coexist(self, tmp_path):
+        """The fingerprint ``kind`` separates the two representations:
+        the same method compiled baseline and staged occupies two cache
+        entries, and each warm start hits its own."""
+        import dataclasses
+        j = load_baseline_cached(tmp_path)
+        quick = j.compile_function("Main", "addmul")
+        assert quick.kind == "baseline"
+        staged_opts = dataclasses.replace(j.options, baseline=False)
+        staged = j.compile_function("Main", "addmul", options=staged_opts)
+        assert getattr(staged, "kind", None) != "baseline"
+        assert staged(5) == quick(5) == 22
+        assert len(entry_files(j.codecache.root)) == 2
+
+
 class TestCompileService:
     def _gated_service(self, **kw):
         """A 1-worker service whose first job blocks on a gate, so tests

@@ -296,6 +296,64 @@ class TestTraceDifferential:
             assert stats["exits"] >= 1, (a, b)
 
 
+# -- baseline-tier differential ------------------------------------------------
+
+
+class TestBaselineDifferential:
+    """Baseline leg (ISSUE 8): the template-compiled Tier-1 unit must be
+    observationally equal to the interpreter and the staged compile —
+    same result, same printed output, same guest errors. The baseline
+    shares the runtime helpers with the interpreter but nothing with the
+    staged pipeline, so this leg catches template/assembler bugs the
+    staged differential cannot."""
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(guest_program(), st.integers(-20, 20), st.integers(-20, 20))
+    def test_baseline_tier1_equals_interpreted_and_staged(self, source,
+                                                          a, b):
+        from repro.baseline import baseline_supported
+        if not baseline_supported():
+            pytest.skip("baseline templates target CPython 3.11")
+        from repro.pipeline import TIER1, tier_options
+
+        oracle = Lancet()
+        oracle.load(source)
+        interp_err = interp_result = None
+        try:
+            interp_result = oracle.vm.call("Main", "f", [a, b])
+        except GuestError as exc:
+            interp_err = type(exc)
+        interp_out = oracle.vm.output()
+        oracle.vm.clear_output()
+        expected = (interp_err, interp_result, interp_out)
+
+        jit = Lancet()
+        jit.load(source)
+        quick = jit.compile_function(
+            "Main", "f", options=tier_options(jit.options, TIER1))
+        assert getattr(quick, "kind", None) == "baseline", source
+        for _ in range(2):              # second run reuses the code object
+            err = result = None
+            try:
+                result = quick(a, b)
+            except GuestError as exc:
+                err = type(exc)
+            out = jit.vm.output()
+            jit.vm.clear_output()
+            assert (err, result, out) == expected, source
+
+        staged_err = staged_result = None
+        staged = oracle.compile_function("Main", "f")
+        try:
+            staged_result = staged(a, b)
+        except GuestError as exc:
+            staged_err = type(exc)
+        assert (staged_err, staged_result, oracle.vm.output()) == expected, \
+            source
+
+
 # -- JS-backend differential ---------------------------------------------------
 # A magnitude-bounded program generator: every variable assignment is
 # reduced mod 997 and expression depth is capped, so all intermediate

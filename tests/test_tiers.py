@@ -308,3 +308,20 @@ class TestTierOptions:
     def test_tier0_has_no_compiled_options(self):
         with pytest.raises(ValueError):
             tier_options(CompileOptions(), TIER0)
+
+    def test_derived_options_are_memoized(self):
+        """Hot-path regression (ISSUE 8): every tiered call derives its
+        tier's options, so the derivation must be cached — equal base
+        options at the same tier return the *same* object, not a fresh
+        dataclasses.replace per call."""
+        base = CompileOptions()
+        assert tier_options(base, TIER1) is tier_options(base, TIER1)
+        assert tier_options(base, TIER2) is tier_options(base, TIER2)
+        # Value-equal bases share the cache entry (the key is the
+        # option values, not the instance).
+        twin = CompileOptions()
+        assert tier_options(twin, TIER1) is tier_options(base, TIER1)
+        # Different bases miss: no cross-contamination.
+        other = CompileOptions(opt_gvn=False)
+        assert tier_options(other, TIER1) is not tier_options(base, TIER1)
+        assert tier_options(base, TIER1) is not tier_options(base, TIER2)
