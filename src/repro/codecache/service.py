@@ -180,15 +180,17 @@ class CompileService:
                 self._event("compileq.blacklist", key=repr(key),
                             failures=self._failures[key])
                 return req
+            victim = None
             if (self.queue_limit is not None
-                    and len(self._heap) >= self.queue_limit
-                    and not self._shed_for(priority)):
-                self.rejected += 1
-                req._finish(REJECTED, error="queue full")
-                self._event("compileq.reject", key=repr(key),
-                            priority=_PRIORITY_NAMES.get(priority,
-                                                         priority))
-                return req
+                    and len(self._heap) >= self.queue_limit):
+                victim = self._shed_for(priority)
+                if victim is None:
+                    self.rejected += 1
+                    req._finish(REJECTED, error="queue full")
+                    self._event("compileq.reject", key=repr(key),
+                                priority=_PRIORITY_NAMES.get(priority,
+                                                             priority))
+                    return req
             self._inflight[key] = req
             heapq.heappush(self._heap, (priority, next(self._seq), req))
             self._gauge_depth_locked()
@@ -197,12 +199,18 @@ class CompileService:
                         depth=len(self._heap))
             self._ensure_workers()
             self._cv.notify()
+        if victim is not None:
+            # Outside the lock: the victim's owner must hear about the
+            # shed (a tier promotion that is never notified stays
+            # "pending" forever and the function can't re-request it).
+            self._notify_error(victim)
         return req
 
     def _shed_for(self, priority):
         """Backpressure (caller holds the lock): drop the single lowest-
         priority queued request iff it is strictly less urgent than the
-        incoming one. Returns True when space was made."""
+        incoming one. Returns the victim (whose ``on_error`` the caller
+        must fire once outside the lock) when space was made."""
         victim_idx = None
         worst = priority
         for idx, (prio, _seq, req) in enumerate(self._heap):
@@ -212,7 +220,7 @@ class CompileService:
                 worst = prio
                 victim_idx = idx
         if victim_idx is None:
-            return False
+            return None
         _prio, _seq, victim = self._heap.pop(victim_idx)
         heapq.heapify(self._heap)
         self._inflight.pop(victim.key, None)
@@ -221,7 +229,7 @@ class CompileService:
         self._gauge_depth_locked()
         self._event("compileq.shed", key=repr(victim.key),
                     priority=_PRIORITY_NAMES.get(_prio, _prio))
-        return True
+        return victim
 
     def cancel(self, key):
         """Cancel the in-flight request for ``key``, if any."""
@@ -362,12 +370,21 @@ class CompileService:
             self._event("compileq.fail", key=repr(req.key), error=error,
                         attempts=req.attempts)
         req._finish(FAILED, error=error)
-        if req.on_error is not None:
-            try:
-                req.on_error(error)
-            except Exception as exc:
-                self._event("compileq.callback_error", key=repr(req.key),
-                            error=str(exc))
+        self._notify_error(req)
+
+    def _notify_error(self, req):
+        """Fire a failed request's ``on_error`` exactly once, swallowing
+        callback bugs. Must be called without the service lock held."""
+        if req.on_error is None:
+            return
+        if getattr(req, "_error_notified", False):
+            return
+        req._error_notified = True
+        try:
+            req.on_error(req.error)
+        except Exception as exc:
+            self._event("compileq.callback_error", key=repr(req.key),
+                        error=str(exc))
 
     # -- lifecycle / stats -----------------------------------------------------
 

@@ -99,9 +99,19 @@ class PersistentCodeCache:
 
     # -- load ------------------------------------------------------------------
 
-    def load(self, fingerprint, jit, recompile=None):
+    def _kind_count(self, what, kind):
+        """Per-kind hit/miss attribution (method unit vs trace vs
+        baseline), so fleet warm-start wins are chargeable per tier."""
+        tel = self.telemetry
+        if tel is not None and kind:
+            tel.inc("codecache.%s.%s" % (what, kind))
+
+    def load(self, fingerprint, jit, recompile=None, kind="unit"):
         """Warm-start lookup: returns a rehydrated CompiledFunction, or
-        ``None`` (a cold miss) — never raises."""
+        ``None`` (a cold miss) — never raises. ``kind`` is the caller's
+        expectation (``unit`` | ``baseline`` | ``trace``) and only feeds
+        the per-kind hit/miss counters; the payload's own kind decides
+        how the entry rehydrates."""
         if not self.enabled:
             return None
         path = self._path(fingerprint)
@@ -111,9 +121,11 @@ class PersistentCodeCache:
                 wrapper = json.load(f)
         except FileNotFoundError:
             self._event("codecache.miss", fingerprint=fingerprint)
+            self._kind_count("misses", kind)
             return None
         except (OSError, ValueError) as exc:
             self._quarantine(path, "unreadable entry: %s" % exc)
+            self._kind_count("misses", kind)
             return None
         try:
             if wrapper.get("format") != FORMAT_VERSION:
@@ -123,21 +135,25 @@ class PersistentCodeCache:
                             found=wrapper.get("format"),
                             expected=FORMAT_VERSION)
                 self._event("codecache.miss", fingerprint=fingerprint)
+                self._kind_count("misses", kind)
                 return None
             payload = wrapper["payload"]
             if wrapper.get("sha256") != _checksum(payload):
                 self._quarantine(path, "sha256 mismatch")
+                self._kind_count("misses", kind)
                 return None
             compiled = rehydrate(payload, jit, recompile=recompile)
         except Exception as exc:
             # A checksummed entry that still fails to rehydrate is
             # corrupt-by-construction for this process: sideline it.
             self._quarantine(path, "rehydrate failed: %s" % exc)
+            self._kind_count("misses", kind)
             return None
         if compiled is None:
             # Links against methods/natives this VM doesn't have.
             self._event("codecache.link_miss", fingerprint=fingerprint)
             self._event("codecache.miss", fingerprint=fingerprint)
+            self._kind_count("misses", kind)
             return None
         compiled.persist_key = fingerprint
         compiled.report.phases["codecache_load"] = time.perf_counter() - t0
@@ -147,6 +163,7 @@ class PersistentCodeCache:
             tel.observe("codecache.load", time.perf_counter() - t0)
         self._event("codecache.hit", fingerprint=fingerprint,
                     unit=payload["unit"], tier=payload["tier"])
+        self._kind_count("hits", payload.get("kind") or kind)
         return compiled
 
     # -- store -----------------------------------------------------------------
@@ -274,6 +291,15 @@ class PersistentCodeCache:
                          "quarantines", "invalidates", "version_misses",
                          "link_misses", "errors"):
                 counters[what] = m.get("codecache.%s" % what)
+            # Per-kind warm-start attribution (method units vs trace vs
+            # baseline), populated by the kind-aware load() counters.
+            by_kind = {}
+            for k in ("unit", "baseline", "trace"):
+                hits = m.get("codecache.hits.%s" % k)
+                misses = m.get("codecache.misses.%s" % k)
+                if hits or misses:
+                    by_kind[k] = {"hits": hits, "misses": misses}
+            counters["by_kind"] = by_kind
         return {
             "enabled": self.enabled,
             "dir": self.root,

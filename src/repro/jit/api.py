@@ -87,6 +87,20 @@ class Lancet:
             self.compile_service = CompileService(
                 workers=self.options.compile_workers,
                 telemetry=self.telemetry)
+        # Compile-server client: attach explicitly via
+        # attach_compile_server(), or process-wide via
+        # REPRO_COMPILE_SERVER=<cache-dir> (every Lancet in the process
+        # becomes a tenant of one shared server over that directory).
+        self.compile_server = None
+        self.loaded_sources = []   # (source, module), for manifest export
+        server_dir = _os.environ.get("REPRO_COMPILE_SERVER")
+        if server_dir:
+            from repro.server import shared_server
+            try:
+                self.attach_compile_server(shared_server(server_dir))
+            except Exception as exc:
+                self.telemetry.record("server.attach_failed",
+                                      error=str(exc))
         # Tier T, the trace-recording tier: explicit opt-in (options or
         # REPRO_TRACE_TIER=1), like every other piece of policy here.
         if self.options.trace_tier or _os.environ.get("REPRO_TRACE_TIER"):
@@ -96,7 +110,9 @@ class Lancet:
 
     def load(self, source, module="Main"):
         from repro.frontend.compiler import compile_source
-        return self.vm.load_classes(compile_source(source, module=module))
+        classes = self.vm.load_classes(compile_source(source, module=module))
+        self.loaded_sources.append((source, module))
+        return classes
 
     def install_macro(self, class_name, method_name, fn):
         self.macros.install(class_name, method_name, fn)
@@ -175,22 +191,82 @@ class Lancet:
                                           policy=policy)
 
     def prefetch(self, class_name, method_name, tier=None):
-        """Warm a unit in the background at the lowest priority: compile
-        (or load from the persistent cache) without blocking the caller.
-        Requires an active CompileService (``compile_workers > 0``);
-        without one this is a no-op returning ``None``."""
-        service = self.compile_service
-        if service is None:
-            return None
-        from repro.codecache.service import PRIORITY_PREFETCH
+        """Warm a unit ahead of use. With an async compiler (a local
+        CompileService or an attached compile server) this submits at the
+        lowest priority and returns the request handle. **Without one it
+        degrades to a synchronous persistent-cache probe**: a warm-start
+        lookup only — a cached unit is rehydrated and installed, but a
+        cold miss never triggers a compile. Returns the CompiledFunction
+        on a synchronous warm hit, ``None`` on a cold miss with no
+        service."""
         from repro.pipeline.tiers import tier_options
         opts = (tier_options(self.options, tier)
                 if tier is not None else self.options)
+        service = self.async_compiler
+        if service is None:
+            return self._prefetch_probe(class_name, method_name, opts)
+        from repro.codecache.service import PRIORITY_PREFETCH
         return service.submit(
             ("prefetch", class_name, method_name, opts.tier),
             lambda: self.compile_function(class_name, method_name,
                                           options=opts),
             priority=PRIORITY_PREFETCH)
+
+    def _prefetch_probe(self, class_name, method_name, opts):
+        """Synchronous prefetch fallback: warm-start lookup only, no
+        compile. A hit lands in the unit cache exactly as an async
+        prefetch would; a miss returns ``None`` untouched."""
+        if self.codecache is None or not opts.unit_cache:
+            return None
+        try:
+            method = self.vm.linker.resolve_static(class_name, method_name)
+        except Exception:
+            return None
+        kind = ("baseline" if self._baseline_eligible(method, None, opts)
+                else "unit")
+        fingerprint = self.codecache.fingerprint(self, method, opts,
+                                                 kind=kind)
+        compiled = self.codecache.load(fingerprint, self, kind=kind)
+        if compiled is None:
+            self.telemetry.record("prefetch.cold", unit="%s.%s"
+                                  % (class_name, method_name))
+            return None
+        self.compile_log.append((compiled.name, compiled))
+        key = self._unit_key(method, None, opts)
+        return self.unit_cache.get_or_else_update(key, lambda: compiled)
+
+    def attach_compile_server(self, server, tenant=None):
+        """Become a tenant of a shared
+        :class:`~repro.server.daemon.CompileServer`: this VM's persistent
+        cache is replaced by the server's sharded store (one tenant's
+        compile is every tenant's warm hit), and async compiles — tier
+        promotions, OSR, traces, prefetch — route through the server's
+        fair bounded queue. The local CompileService (if any) is kept as
+        the fallback for a server that dies mid-flight.
+
+        Returns the :class:`~repro.server.client.ServerClient`.
+        """
+        from repro.server.client import ServerClient
+        self.compile_server = ServerClient(self, server, tenant=tenant)
+        if server.store is not None:
+            self.codecache = server.store
+        return self.compile_server
+
+    @property
+    def async_compiler(self):
+        """The live asynchronous compile sink: the compile-server client
+        while the server is up, else the local CompileService, else
+        ``None`` (callers then compile synchronously or skip)."""
+        client = self.compile_server
+        if client is not None and client.alive:
+            return client
+        return self.compile_service
+
+    def export_manifest(self, path):
+        """Write this VM's warm-start manifest (loaded sources + compiled
+        units) for ``repro serve --warm`` prewarming."""
+        from repro.server.manifest import write_manifest
+        return write_manifest(self, path)
 
     def enable_trace_tier(self):
         """Arm Tier T: hot loop back-edges record linear traces that
@@ -206,10 +282,12 @@ class Lancet:
     def close(self):
         """Shut down background machinery (compile workers). Safe to
         call more than once; the VM stays usable (compiles turn
-        synchronous)."""
+        synchronous). Detaches from a compile server without closing it
+        — the server outlives its tenants by design."""
         if self.compile_service is not None:
             self.compile_service.close()
             self.compile_service = None
+        self.compile_server = None
 
     # -- internals -------------------------------------------------------------------
 
@@ -249,7 +327,8 @@ class Lancet:
 
             def load_or_build():
                 compiled = self.codecache.load(fingerprint, self,
-                                               recompile=rebuild)
+                                               recompile=rebuild,
+                                               kind=kind)
                 if compiled is not None:
                     self.compile_log.append((compiled.name, compiled))
                     return compiled
@@ -257,7 +336,17 @@ class Lancet:
                 self.codecache.store(fingerprint, compiled, opts)
                 return compiled
 
-            return self.unit_cache.get_or_else_update(key, load_or_build)
+            def coordinated():
+                # Cross-VM single-flight: when attached to a compile
+                # server, the first tenant to want this fingerprint
+                # compiles it; tenants arriving mid-compile wait and
+                # rehydrate from the then-warm shared store.
+                client = self.compile_server
+                if client is not None and client.alive:
+                    return client.coordinate(fingerprint, load_or_build)
+                return load_or_build()
+
+            return self.unit_cache.get_or_else_update(key, coordinated)
         return self.unit_cache.get_or_else_update(key, rebuild)
 
     def _initial_scope(self, options):
@@ -572,6 +661,9 @@ class Lancet:
             "compile_service": (self.compile_service.stats()
                                 if self.compile_service is not None
                                 else None),
+            "server": (self.compile_server.stats()
+                       if self.compile_server is not None
+                       else None),
             "invalidations": m.get("invalidations"),
             "inlines": m.get("inlines"),
             "residual_calls": m.get("residual_calls"),

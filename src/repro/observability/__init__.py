@@ -43,6 +43,28 @@ Event kinds emitted by the built-in instrumentation::
     compileq.fail / compileq.timeout / compileq.blacklist
                              (asynchronous CompileService lifecycle; the
                              queue depth is the ``compileq.depth`` gauge)
+    server.attach            (a Lancet VM became a tenant)
+    server.submit / server.done / server.fail
+                             (multi-tenant CompileServer lifecycle; the
+                             queue depth is the ``server.queue_depth``
+                             gauge, and ``stats()["server"]`` includes
+                             the dedup ratio)
+    server.dedup / server.dedup_wait
+                             (cross-VM dedup: a queued follower joined
+                             a leader / a synchronous tenant waited on
+                             another tenant's in-flight compile)
+    server.inherit           (priority inheritance: an urgent follower
+                             raised a queued leader's priority)
+    server.shed / server.reject  (admission control: backpressure drop,
+                             queue-full or per-tenant-cap refusal)
+    server.batch             (a worker took several consecutive requests
+                             from one tenant in a single turn)
+    server.warm              (manifest prewarming replayed into the store)
+    server.close
+    codecache.hits.<kind> / codecache.misses.<kind>
+                             (per-kind warm-start attribution counters,
+                             kind in unit | baseline | trace; surfaced
+                             as ``stats()["codecache"]["by_kind"]``)
 """
 
 from __future__ import annotations

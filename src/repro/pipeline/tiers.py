@@ -264,7 +264,7 @@ class TieredFunction:
         # result when it lands (and cancel it if still queued).
         self._promotion_gen += 1
         self._pending_tier = None
-        service = self.jit.compile_service
+        service = self.jit.async_compiler
         if service is not None:
             for target in (TIER1, TIER2):
                 service.cancel(("promote", self.qualified_name, target))
@@ -301,7 +301,7 @@ class TieredFunction:
                                                self._observed_calls()),
                          self.max_tier)
             if target > self.tier:
-                service = self.jit.compile_service
+                service = self.jit.async_compiler
                 if service is not None:
                     # Asynchronous promotion: enqueue and keep executing
                     # at the current tier; the compile never blocks the
@@ -385,7 +385,7 @@ class TierController:
         if count < self.policy.osr_threshold:
             return None
 
-        service = self.jit.compile_service
+        service = self.jit.async_compiler
         if service is not None:
             # Asynchronous mode: never stall the loop for a compile.
             # Enqueue a top-priority promotion of the owning unit; this
@@ -447,7 +447,7 @@ class TierController:
             return False
         if vm.profiler.backedge_count(*site) < self.policy.osr_threshold:
             return False
-        service = self.jit.compile_service
+        service = self.jit.async_compiler
         if service is not None:
             # Asynchronous mode: never stall the loop for a compile —
             # enqueue a top-priority promotion and keep running baseline.

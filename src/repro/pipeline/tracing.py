@@ -724,7 +724,7 @@ class TraceManager:
         self.traces[site] = trace
         name = self._unit_name(site)
 
-        service = self.jit.compile_service
+        service = self.jit.async_compiler
         if service is not None:
             req = service.submit(
                 ("trace",) + site,
@@ -819,7 +819,7 @@ class TraceManager:
         from repro.codecache.fingerprint import trace_fingerprint
         opts = self.trace_options()
         fp = trace_fingerprint(self.jit, method, site[1], opts)
-        compiled = cc.load(fp, self.jit, recompile=None)
+        compiled = cc.load(fp, self.jit, recompile=None, kind="trace")
         if compiled is None:
             return False
         live = sorted(live_at(method, site[1]))

@@ -1,0 +1,103 @@
+"""The per-VM compile-server client.
+
+A :class:`ServerClient` is the thin seam between one Lancet tenant and
+the shared :class:`~repro.server.daemon.CompileServer`. It speaks the
+same ``submit(key, fn, priority, on_complete, on_error)`` / ``cancel``
+surface as the local CompileService, so the tier and trace pipelines
+route through whichever is live without knowing the difference
+(``jit.async_compiler`` resolves to the client while the server is
+alive, the local service after it dies).
+
+Failure policy: the server dying mid-flight must never cost a tenant
+more than one compile's latency. Every call degrades — ``submit`` falls
+back to the tenant's local CompileService (or rejects, leaving the
+interpreter), ``coordinate`` runs the closure locally — and each
+degradation bumps ``fallbacks`` so ``stats()["server"]`` shows the
+seam fraying.
+"""
+
+from __future__ import annotations
+
+
+class ServerClient:
+    """One tenant's handle on a shared CompileServer."""
+
+    def __init__(self, jit, server, tenant=None):
+        self.jit = jit
+        self.server = server
+        self.tenant = server.register_tenant(tenant)
+        self.submitted = 0
+        self.fallbacks = 0
+
+    @property
+    def alive(self):
+        return not self.server.closed
+
+    def _local(self):
+        return getattr(self.jit, "compile_service", None)
+
+    # -- the CompileService surface --------------------------------------------
+
+    def submit(self, key, fn, priority=None, on_complete=None,
+               on_error=None, **kwargs):
+        """Route an async compile to the server; on a dead (or crashing)
+        server, fall back to the tenant's local CompileService. Never
+        raises; a rejected request leaves the caller on the interpreter,
+        same as the local service's contract."""
+        from repro.codecache.service import PRIORITY_TIER1
+        if priority is None:
+            priority = PRIORITY_TIER1
+        kwargs.pop("tenant", None)      # the client IS the tenant
+        if self.alive:
+            try:
+                req = self.server.submit(key, fn, priority=priority,
+                                         tenant=self.tenant,
+                                         on_complete=on_complete,
+                                         on_error=on_error)
+                self.submitted += 1
+                return req
+            except Exception:
+                pass        # fall through to the local service
+        self.fallbacks += 1
+        local = self._local()
+        if local is not None:
+            return local.submit(key, fn, priority=priority,
+                                on_complete=on_complete, on_error=on_error,
+                                **kwargs)
+        from repro.codecache.service import REJECTED, CompileRequest
+        req = CompileRequest(key, fn, priority)
+        req._finish(REJECTED, error="server dead, no local service")
+        return req
+
+    def cancel(self, key):
+        if self.alive:
+            try:
+                return self.server.cancel(key, tenant=self.tenant)
+            except Exception:
+                pass
+        local = self._local()
+        return local.cancel(key) if local is not None else None
+
+    # -- synchronous dedup ------------------------------------------------------
+
+    def coordinate(self, fingerprint, fn):
+        """Cross-VM single-flight for a synchronous load-or-compile; a
+        dead server just runs the closure locally."""
+        if self.alive:
+            try:
+                return self.server.coordinate(fingerprint, fn,
+                                              tenant=self.tenant)
+            except Exception:
+                self.fallbacks += 1
+        return fn()
+
+    # -- stats ------------------------------------------------------------------
+
+    def stats(self):
+        return {
+            "tenant": self.tenant,
+            "alive": self.alive,
+            "submitted": self.submitted,
+            "fallbacks": self.fallbacks,
+            "server": self.server.stats(),
+        }

@@ -1,0 +1,548 @@
+"""The multi-tenant compile server.
+
+One long-running :class:`CompileServer` serves many Lancet VMs
+("tenants") instead of each running a private CompileService. The
+economics: PR 4's content fingerprints make compiled units bit-identical
+across tenants running the same program, so the fleet should pay each
+compile **once** — the first tenant compiles, everyone else rehydrates
+from the shared sharded store.
+
+Four mechanisms, layered:
+
+* **shared sharded store** — the server owns a
+  :class:`~repro.server.shards.ShardedCodeCache`; attaching a tenant
+  points its ``codecache`` at it, so ordinary warm-start lookups become
+  fleet-wide.
+* **cross-VM dedup**, at two granularities:
+
+  - *synchronous* (:meth:`coordinate`): tenants about to compile a
+    fingerprint register it; a second tenant arriving mid-compile
+    blocks on the leader's completion event, then re-probes the store —
+    a warm hit, one compile total. Worker threads and re-entrant
+    compiles never block (deadlock-free by construction).
+  - *asynchronous* (:meth:`submit`): a queued request whose key is
+    already in flight becomes a *follower* — it is parked on the leader
+    and re-enqueued when the leader finishes, by which time the store
+    is warm and the follower's compile collapses to a rehydrate. A more
+    urgent follower **raises the leader's priority** (priority
+    inheritance): an OSR request joining a queued prefetch for the same
+    unit drags that compile to the front.
+
+* **admission control** — the queue is bounded globally (shed the
+  lowest-priority queued request when a strictly more urgent one
+  arrives, reject otherwise) and per tenant (one hot VM exhausting its
+  slice is rejected — and falls back to its local service/interpreter —
+  instead of starving the fleet).
+* **fair batched scheduling** — workers drain priorities in order;
+  within a priority, tenants are served round-robin, and a worker grabs
+  up to ``batch_max`` consecutive requests from the tenant whose turn
+  it is (one scheduling decision, several compiles — the whole batch
+  counts against that tenant's turn).
+
+``workers=0`` runs the server in *manual-drain* mode (:meth:`drain`),
+used by deterministic tests and one-shot prewarming.
+
+Requests never retry here: transient-failure retry/backoff/blacklist
+policy stays in the per-VM CompileService; the server reports failures
+to the submitting tenant, whose fallback is its own service or the
+interpreter.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict, deque
+
+from repro.codecache.service import (CANCELLED, DONE, FAILED, REJECTED,
+                                     RUNNING, CompileRequest,
+                                     PRIORITY_TIER1)
+from repro.observability import Telemetry
+from repro.server.shards import DEFAULT_SHARDS, ShardedCodeCache
+
+
+class CompileServer:
+    """A compile daemon: sharded store + fair bounded queue + dedup."""
+
+    def __init__(self, cache_dir=None, shards=DEFAULT_SHARDS, workers=2,
+                 queue_limit=128, per_tenant_limit=32, batch_max=4,
+                 budget_bytes=64 << 20, telemetry=None, backend="python",
+                 sync_wait_timeout=60.0):
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.store = None
+        if cache_dir:
+            self.store = ShardedCodeCache(cache_dir, shards=shards,
+                                          budget_bytes=budget_bytes,
+                                          telemetry=self.telemetry,
+                                          backend=backend)
+        self.workers = max(0, workers)
+        self.queue_limit = queue_limit
+        self.per_tenant_limit = per_tenant_limit
+        self.batch_max = max(1, batch_max)
+        self.sync_wait_timeout = sync_wait_timeout
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._queues = {}           # priority -> OrderedDict(tenant -> deque)
+        self._depth = 0
+        self._tenant_depth = {}     # tenant -> queued count
+        self._inflight = {}         # key -> leader request (queued|running)
+        self._threads = []
+        self._worker_idents = set()
+        self._closed = False
+        self._tenants = []
+        self._tenant_seq = 0
+        # Synchronous (coordinate) dedup state.
+        self._sync_lock = threading.Lock()
+        self._sync_inflight = {}    # fingerprint -> (Event, leader ident)
+        # Counters (under self._lock unless noted).
+        self.submits = 0
+        self.completed = 0
+        self.failed = 0
+        self.shed = 0
+        self.rejected = 0
+        self.dedup_followers = 0
+        self.dedup_waits = 0        # under _sync_lock
+        self.batches = 0
+        self.batched_requests = 0
+
+    # -- telemetry -------------------------------------------------------------
+
+    def _event(self, kind, **data):
+        tel = self.telemetry
+        tel.inc(kind)
+        tel.record(kind, **data)
+
+    def _gauge_depth_locked(self):
+        self.telemetry.set_gauge("server.queue_depth", self._depth)
+
+    # -- tenants ---------------------------------------------------------------
+
+    def register_tenant(self, name=None):
+        with self._lock:
+            self._tenant_seq += 1
+            tenant = name or ("vm-%d" % self._tenant_seq)
+            self._tenants.append(tenant)
+        self._event("server.attach", tenant=tenant)
+        return tenant
+
+    # -- asynchronous submission -----------------------------------------------
+
+    def submit(self, key, fn, priority=PRIORITY_TIER1, tenant="anon",
+               on_complete=None, on_error=None):
+        """Enqueue ``fn`` under ``key`` for ``tenant``. Never raises,
+        never blocks; check ``request.rejected`` for admission refusal
+        (the tenant's fallback is its local service or the interpreter).
+        """
+        req = CompileRequest(key, fn, priority, on_complete=on_complete,
+                             on_error=on_error)
+        req.tenant = tenant
+        req.followers = []
+        victim = None
+        with self._cv:
+            if self._closed:
+                req._finish(REJECTED, error="server closed")
+                return req
+            leader = self._inflight.get(key)
+            if leader is not None and not leader.finished:
+                # Cross-VM dedup: park on the leader; run after it, when
+                # the shared store is warm and this compile is a
+                # rehydrate. A more urgent follower drags the leader
+                # forward (priority inheritance).
+                leader.followers.append(req)
+                self.dedup_followers += 1
+                if priority < leader.priority:
+                    self._reprioritize_locked(leader, priority)
+                self._event("server.dedup", key=repr(key), tenant=tenant,
+                            leader_tenant=leader.tenant)
+                return req
+            if self._tenant_depth.get(tenant, 0) >= self.per_tenant_limit:
+                self.rejected += 1
+                req._finish(REJECTED, error="tenant queue full")
+                self._event("server.reject", key=repr(key), tenant=tenant,
+                            reason="tenant-cap")
+                return req
+            if self._depth >= self.queue_limit:
+                victim = self._shed_for_locked(priority)
+                if victim is None:
+                    self.rejected += 1
+                    req._finish(REJECTED, error="queue full")
+                    self._event("server.reject", key=repr(key),
+                                tenant=tenant, reason="queue-full")
+                    return req
+            self._enqueue_locked(req)
+            self.submits += 1
+            self._event("server.submit", key=repr(key), tenant=tenant,
+                        priority=priority, depth=self._depth)
+            self._ensure_workers()
+            self._cv.notify()
+        if victim is not None:
+            self._notify_error(victim)
+        return req
+
+    def _enqueue_locked(self, req):
+        by_tenant = self._queues.setdefault(req.priority, OrderedDict())
+        by_tenant.setdefault(req.tenant, deque()).append(req)
+        self._depth += 1
+        self._tenant_depth[req.tenant] = \
+            self._tenant_depth.get(req.tenant, 0) + 1
+        self._inflight[req.key] = req
+        self._gauge_depth_locked()
+
+    def _remove_queued_locked(self, req):
+        """Unlink a queued request; returns True when it was found."""
+        by_tenant = self._queues.get(req.priority)
+        if not by_tenant:
+            return False
+        dq = by_tenant.get(req.tenant)
+        if not dq:
+            return False
+        try:
+            dq.remove(req)
+        except ValueError:
+            return False
+        if not dq:
+            del by_tenant[req.tenant]
+        self._depth -= 1
+        self._tenant_depth[req.tenant] -= 1
+        self._gauge_depth_locked()
+        return True
+
+    def _reprioritize_locked(self, leader, priority):
+        """Priority inheritance: move a still-queued leader to the more
+        urgent queue (a running leader is already being served)."""
+        if self._remove_queued_locked(leader):
+            leader.priority = priority
+            self._enqueue_locked(leader)
+            self._event("server.inherit", key=repr(leader.key),
+                        priority=priority)
+
+    def _shed_for_locked(self, priority):
+        """Backpressure: unlink and fail the newest request of the least
+        urgent nonempty priority strictly below ``priority``. Returns the
+        victim (caller fires its on_error outside the lock) or None."""
+        for prio in sorted(self._queues, reverse=True):
+            if prio <= priority:
+                break
+            by_tenant = self._queues[prio]
+            if not by_tenant:
+                continue
+            # Shed from the tenant hogging the most of this priority.
+            tenant = max(by_tenant, key=lambda t: len(by_tenant[t]))
+            victim = by_tenant[tenant].pop()
+            if not by_tenant[tenant]:
+                del by_tenant[tenant]
+            self._depth -= 1
+            self._tenant_depth[tenant] -= 1
+            self._inflight.pop(victim.key, None)
+            victim._finish(FAILED, error="shed under backpressure")
+            self.shed += 1
+            self._gauge_depth_locked()
+            self._event("server.shed", key=repr(victim.key), tenant=tenant,
+                        priority=prio)
+            return victim
+        return None
+
+    def cancel(self, key, tenant=None):
+        """Cancel the in-flight request for ``key`` (optionally only when
+        owned by ``tenant``). Followers are promoted, not cancelled."""
+        with self._cv:
+            req = self._inflight.get(key)
+            if req is None or (tenant is not None and req.tenant != tenant):
+                return None
+            self._inflight.pop(key, None)
+            self._remove_queued_locked(req)
+            self._adopt_followers_locked(req)
+        req.cancel()
+        return req
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _pop_batch_locked(self):
+        """The next batch: up to ``batch_max`` requests from the tenant
+        whose round-robin turn it is, at the most urgent nonempty
+        priority. Returns [] when idle."""
+        for prio in sorted(self._queues):
+            by_tenant = self._queues[prio]
+            while by_tenant:
+                tenant, dq = next(iter(by_tenant.items()))
+                if not dq:
+                    del by_tenant[tenant]
+                    continue
+                batch = []
+                while dq and len(batch) < self.batch_max:
+                    batch.append(dq.popleft())
+                if dq:
+                    by_tenant.move_to_end(tenant)
+                else:
+                    del by_tenant[tenant]
+                self._depth -= len(batch)
+                self._tenant_depth[tenant] -= len(batch)
+                self._gauge_depth_locked()
+                self.batches += 1
+                self.batched_requests += len(batch)
+                if len(batch) > 1:
+                    self._event("server.batch", tenant=tenant,
+                                size=len(batch), priority=prio)
+                return batch
+        return []
+
+    def _ensure_workers(self):
+        while len(self._threads) < self.workers:
+            t = threading.Thread(target=self._worker_loop, daemon=True,
+                                 name="lancet-server-%d" % len(self._threads))
+            self._threads.append(t)
+            t.start()
+
+    def _worker_loop(self):
+        self._worker_idents.add(threading.get_ident())
+        while True:
+            with self._cv:
+                batch = self._pop_batch_locked()
+                while not batch:
+                    if self._closed:
+                        return
+                    self._cv.wait()
+                    batch = self._pop_batch_locked()
+            for req in batch:
+                self._run_one(req)
+
+    def drain(self, max_batches=None):
+        """Manual-drain mode (``workers=0``): run queued batches on the
+        calling thread until the queue is empty (or ``max_batches``).
+        Returns the number of requests run."""
+        ran = 0
+        n = 0
+        while max_batches is None or n < max_batches:
+            with self._cv:
+                batch = self._pop_batch_locked()
+            if not batch:
+                break
+            n += 1
+            for req in batch:
+                self._run_one(req)
+                ran += 1
+        return ran
+
+    def _run_one(self, req):
+        if req.finished:                # cancelled while queued
+            with self._cv:
+                if self._inflight.get(req.key) is req:
+                    self._inflight.pop(req.key, None)
+            return
+        req.state = RUNNING
+        req.attempts += 1
+        t0 = time.perf_counter()
+        try:
+            result = req.fn()
+        except Exception as exc:
+            self._finish(req, FAILED, error=str(exc))
+            return
+        if req.state == CANCELLED:
+            self._finish(req, CANCELLED, discard=True)
+            return
+        self.telemetry.observe("server.run", time.perf_counter() - t0)
+        self._finish(req, DONE, result=result)
+
+    def _adopt_followers_locked(self, req):
+        """Re-enqueue a finished leader's followers: the store is warm
+        now, so each follower's compile collapses to a rehydrate. The
+        first follower becomes the key's new in-flight entry (later
+        submits dedup onto it)."""
+        followers = req.followers
+        req.followers = []
+        for f in followers:
+            if not f.finished:
+                self._enqueue_locked(f)
+        return followers
+
+    def _finish(self, req, state, result=None, error=None, discard=False):
+        with self._cv:
+            if self._inflight.get(req.key) is req:
+                self._inflight.pop(req.key, None)
+            self._adopt_followers_locked(req)
+            if self._depth:
+                self._cv.notify()
+        if discard:
+            self._event("server.discard", key=repr(req.key),
+                        tenant=req.tenant)
+            return
+        if state == DONE:
+            req._finish(DONE, result=result)
+            self.completed += 1
+            self._event("server.done", key=repr(req.key), tenant=req.tenant,
+                        attempts=req.attempts)
+            if req.on_complete is not None:
+                try:
+                    req.on_complete(result)
+                except Exception as exc:    # callbacks must not kill workers
+                    self._event("server.callback_error", key=repr(req.key),
+                                error=str(exc))
+        else:
+            req._finish(FAILED, error=error)
+            self.failed += 1
+            self._event("server.fail", key=repr(req.key), tenant=req.tenant,
+                        error=error)
+            self._notify_error(req)
+
+    def _notify_error(self, req):
+        if req.on_error is not None:
+            try:
+                req.on_error(req.error)
+            except Exception as exc:
+                self._event("server.callback_error", key=repr(req.key),
+                            error=str(exc))
+
+    # -- synchronous cross-VM dedup --------------------------------------------
+
+    def coordinate(self, fingerprint, fn, tenant=None):
+        """Run ``fn`` (a load-or-compile closure probing the shared
+        store first) with fingerprint-level dedup: the first tenant in
+        is the leader and compiles; tenants arriving mid-compile wait
+        for the leader, then run ``fn`` against the now-warm store — a
+        rehydrate, not a second compile.
+
+        Never deadlocks: server worker threads and the leader's own
+        thread (re-entrant compiles) run ``fn`` immediately; a waiter
+        abandoned past ``sync_wait_timeout`` (leader crashed hard)
+        compiles for itself.
+        """
+        if self._closed:
+            return fn()
+        me = threading.get_ident()
+        if me in self._worker_idents:
+            return fn()
+        with self._sync_lock:
+            entry = self._sync_inflight.get(fingerprint)
+            if entry is None:
+                event = threading.Event()
+                self._sync_inflight[fingerprint] = (event, me)
+                leader = True
+            elif entry[1] == me:
+                return fn()         # re-entrant compile from the leader
+            else:
+                leader = False
+                event = entry[0]
+                self.dedup_waits += 1
+        if leader:
+            try:
+                return fn()
+            finally:
+                with self._sync_lock:
+                    self._sync_inflight.pop(fingerprint, None)
+                event.set()
+        self._event("server.dedup_wait", fingerprint=fingerprint,
+                    tenant=tenant)
+        event.wait(self.sync_wait_timeout)
+        return fn()
+
+    # -- prewarming ------------------------------------------------------------
+
+    def warm(self, manifest, options=None):
+        """Replay a manifest (path or dict) into the shared store; see
+        :func:`repro.server.manifest.warm_from_manifest`."""
+        from repro.server.manifest import warm_from_manifest
+        if self.store is None:
+            return {"units": 0, "compiled": 0, "warm_hits": 0,
+                    "errors": ["server has no store (no cache_dir)"]}
+        summary = warm_from_manifest(manifest, self.store, options=options)
+        self._event("server.warm", units=summary["units"],
+                    compiled=summary["compiled"],
+                    errors=len(summary["errors"]))
+        return summary
+
+    # -- lifecycle / stats -----------------------------------------------------
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def close(self, wait=True):
+        victims = []
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            for by_tenant in self._queues.values():
+                for dq in by_tenant.values():
+                    victims.extend(dq)
+            self._queues.clear()
+            self._depth = 0
+            self._tenant_depth.clear()
+            self._inflight.clear()
+            self._gauge_depth_locked()
+            self._cv.notify_all()
+        for req in victims:
+            if not req.finished:
+                req._finish(FAILED, error="server closed")
+                self._notify_error(req)
+            for f in req.followers:
+                if not f.finished:
+                    f._finish(FAILED, error="server closed")
+                    self._notify_error(f)
+        if wait:
+            for t in self._threads:
+                t.join(timeout=2.0)
+        self._event("server.close", tenants=len(self._tenants))
+
+    def stats(self):
+        with self._lock:
+            depth = self._depth
+            inflight = len(self._inflight)
+            tenants = list(self._tenants)
+            per_tenant = dict(self._tenant_depth)
+        dedup = self.dedup_followers + self.dedup_waits
+        demand = self.submits + self.dedup_waits
+        return {
+            "workers": self.workers,
+            "closed": self._closed,
+            "queue_depth": depth,
+            "queue_limit": self.queue_limit,
+            "per_tenant_limit": self.per_tenant_limit,
+            "queued_per_tenant": per_tenant,
+            "in_flight": inflight,
+            "tenants": tenants,
+            "submits": self.submits,
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "dedup_followers": self.dedup_followers,
+            "dedup_waits": self.dedup_waits,
+            "dedup_ratio": (dedup / demand) if demand else 0.0,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "store": self.store.stats() if self.store is not None else None,
+        }
+
+
+# -- process-global server registry ------------------------------------------
+#
+# REPRO_COMPILE_SERVER=<cache-dir> auto-attaches every new Lancet in the
+# process to one shared CompileServer per cache directory — threads-as-
+# tenants with zero wiring. Cross-process fleets share through the
+# sharded store on disk; each process runs one server front-end over it.
+
+_SHARED = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_server(cache_dir, **kwargs):
+    """The process-wide CompileServer for ``cache_dir`` (created on
+    first use; later ``kwargs`` are ignored)."""
+    key = os.path.abspath(cache_dir)
+    with _SHARED_LOCK:
+        server = _SHARED.get(key)
+        if server is None or server.closed:
+            server = CompileServer(cache_dir=key, **kwargs)
+            _SHARED[key] = server
+        return server
+
+
+def close_shared_servers():
+    """Close and forget every registry server (tests, interpreter exit)."""
+    with _SHARED_LOCK:
+        servers = list(_SHARED.values())
+        _SHARED.clear()
+    for server in servers:
+        server.close()

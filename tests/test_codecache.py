@@ -25,6 +25,7 @@ from repro.codecache import (PRIORITY_OSR, PRIORITY_PREFETCH,
                              PersistentCodeCache)
 from repro.compiler.options import CompileOptions
 from repro.errors import CompilationError
+from repro.observability import Telemetry
 from tests.conftest import load
 
 @pytest.fixture(autouse=True)
@@ -437,6 +438,47 @@ class TestCompileService:
             assert t1.wait(5.0) == "t1"
             assert svc.stats()["shed"] == 1
             assert svc.stats()["rejected"] == 1
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_shed_notifies_on_error_and_emits_event(self):
+        """A request dropped under backpressure must hear about it: its
+        on_error callback fires (a tier promotion that is never notified
+        stays pending forever) and compileq.shed is recorded."""
+        tel = Telemetry()
+        tel.enable_trace()
+        svc, gate, _plug = self._gated_service(queue_limit=1,
+                                               telemetry=tel)
+        try:
+            errors = []
+            pf = svc.submit("pf", lambda: "pf", priority=PRIORITY_PREFETCH,
+                            on_error=errors.append)
+            osr = svc.submit("osr", lambda: "osr", priority=PRIORITY_OSR)
+            assert not osr.rejected
+            assert pf.state == "failed"
+            assert errors == ["shed under backpressure"]
+            shed_events = tel.events("compileq.shed")
+            assert len(shed_events) == 1
+            assert shed_events[0].data["key"] == repr("pf")
+            assert tel.metrics.get("compileq.shed") == 1
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_shed_on_error_fires_exactly_once(self):
+        """The shed path and the generic failure path share the same
+        notifier; a victim's callback must not double-fire."""
+        svc, gate, _plug = self._gated_service(queue_limit=1)
+        try:
+            errors = []
+            svc.submit("pf", lambda: "pf", priority=PRIORITY_PREFETCH,
+                       on_error=errors.append)
+            svc.submit("osr1", lambda: "a", priority=PRIORITY_OSR)
+            svc.submit("osr2", lambda: "b", priority=PRIORITY_OSR)
+            gate.set()
+            time.sleep(0.05)
+            assert errors == ["shed under backpressure"]
         finally:
             gate.set()
             svc.close()

@@ -1,0 +1,538 @@
+"""The multi-tenant compile server (ISSUE 9 tentpole): sharded store,
+cross-VM dedup, admission control / fairness / batching, manifest
+prewarming, and the client shim with local fallback."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import Lancet
+from repro.codecache.service import (PRIORITY_OSR, PRIORITY_PREFETCH,
+                                     PRIORITY_TIER1)
+from repro.compiler.options import CompileOptions
+from repro.observability import Telemetry
+from repro.server import (CompileServer, ShardedCodeCache, build_manifest,
+                          close_shared_servers, shared_server,
+                          warm_from_manifest, write_manifest)
+
+SRC = '''
+    def work(n) {
+      var s = 0;
+      var i = 0;
+      while (i < n) { s = s + i * i; i = i + 1; }
+      return s;
+    }
+    def other(n) { return n * 3 + 1; }
+'''
+
+EXPECTED_WORK_10 = sum(i * i for i in range(10))
+
+
+def make_jit(server=None, **opts):
+    j = Lancet(options=CompileOptions(**opts))
+    j.load(SRC)
+    if server is not None:
+        j.attach_compile_server(server)
+    return j
+
+
+# -- the sharded store --------------------------------------------------------
+
+
+class TestShardedCodeCache:
+    def test_shard_layout_and_index(self, tmp_path):
+        store = ShardedCodeCache(tmp_path / "cc", shards=4)
+        assert store.enabled
+        assert len(store.shards) == 4
+        # Hex prefixes spread deterministically over the shards.
+        assert store._shard_index("00" + "a" * 62) == 0
+        assert store._shard_index("01" + "a" * 62) == 1
+        assert store._shard_index("05" + "a" * 62) == 1
+        for fp in ("%02x%s" % (b, "0" * 62) for b in range(32)):
+            assert store.shard_for(fp) is store.shard_for(fp)
+
+    def test_budget_splits_across_shards(self, tmp_path):
+        store = ShardedCodeCache(tmp_path / "cc", shards=8,
+                                 budget_bytes=8 << 20)
+        assert all(s.budget_bytes == 1 << 20 for s in store.shards)
+
+    def test_miss_and_stats_shape(self, tmp_path):
+        store = ShardedCodeCache(tmp_path / "cc", shards=2,
+                                 telemetry=Telemetry())
+        assert store.load("ab" + "0" * 62, jit=None) is None
+        assert not store.contains("ab" + "0" * 62)
+        s = store.stats()
+        assert s["shards"] == 2
+        assert s["entries"] == 0
+        assert len(s["entries_per_shard"]) == 2
+        assert s["misses"] == 1
+
+    def test_units_persist_and_share_across_vms(self, tmp_path):
+        server = CompileServer(cache_dir=tmp_path / "cc", workers=0)
+        try:
+            j1 = make_jit(server)
+            f1 = j1.compile_function("Main", "work")
+            assert f1(10) == EXPECTED_WORK_10
+            assert server.store.stats()["entries"] == 1
+            fps = server.store.fingerprints()
+            assert len(fps) == 1
+            assert server.store.contains(fps[0])
+            j1.close()
+            # A brand-new VM warm-starts from the tenant's store entry.
+            j2 = make_jit(server)
+            f2 = j2.compile_function("Main", "work")
+            assert f2(10) == EXPECTED_WORK_10
+            assert server.store.stats()["entries"] == 1
+            assert j2.telemetry.metrics.get("compiles") == 0
+            j2.close()
+        finally:
+            server.close()
+
+    def test_invalidate_targets_owning_shard(self, tmp_path):
+        server = CompileServer(cache_dir=tmp_path / "cc", workers=0)
+        try:
+            j = make_jit(server)
+            j.compile_function("Main", "work")(10)
+            fp = server.store.fingerprints()[0]
+            assert server.store.invalidate(fp)
+            assert not server.store.contains(fp)
+            assert server.store.stats()["entries"] == 0
+            j.close()
+        finally:
+            server.close()
+
+
+# -- the queue: admission, fairness, batching, priorities ---------------------
+
+
+class TestServerQueue:
+    def drain_server(self, **kw):
+        kw.setdefault("workers", 0)
+        return CompileServer(**kw)
+
+    def test_fifo_round_robin_between_tenants(self):
+        server = self.drain_server(batch_max=2)
+        try:
+            order = []
+            for key, tenant in (("a1", "A"), ("a2", "A"), ("a3", "A"),
+                                ("b1", "B")):
+                server.submit(key, lambda k=key: order.append(k) or k,
+                              tenant=tenant)
+            server.drain()
+            # A's first batch (batch_max=2), then B's turn, then A again.
+            assert order == ["a1", "a2", "b1", "a3"]
+            assert server.stats()["batches"] == 3
+        finally:
+            server.close()
+
+    def test_priority_beats_round_robin(self):
+        server = self.drain_server()
+        try:
+            order = []
+            server.submit("pf", lambda: order.append("pf"), tenant="A",
+                          priority=PRIORITY_PREFETCH)
+            server.submit("osr", lambda: order.append("osr"), tenant="B",
+                          priority=PRIORITY_OSR)
+            server.drain()
+            assert order == ["osr", "pf"]
+        finally:
+            server.close()
+
+    def test_per_tenant_cap_rejects_the_hog_only(self):
+        server = self.drain_server(per_tenant_limit=2)
+        try:
+            a1 = server.submit("a1", lambda: 1, tenant="A")
+            a2 = server.submit("a2", lambda: 2, tenant="A")
+            a3 = server.submit("a3", lambda: 3, tenant="A")
+            b1 = server.submit("b1", lambda: 4, tenant="B")
+            assert not a1.rejected and not a2.rejected
+            assert a3.rejected and a3.error == "tenant queue full"
+            assert not b1.rejected      # the cap is per tenant
+            assert server.stats()["rejected"] == 1
+        finally:
+            server.close()
+
+    def test_backpressure_sheds_lowest_and_notifies(self):
+        server = self.drain_server(queue_limit=2)
+        try:
+            errors = []
+            server.submit("pf", lambda: "pf", tenant="A",
+                          priority=PRIORITY_PREFETCH,
+                          on_error=errors.append)
+            server.submit("t1", lambda: "t1", tenant="B",
+                          priority=PRIORITY_TIER1)
+            osr = server.submit("osr", lambda: "osr", tenant="C",
+                                priority=PRIORITY_OSR)
+            assert not osr.rejected
+            assert errors == ["shed under backpressure"]
+            # Nothing strictly less urgent left for another prefetch.
+            pf2 = server.submit("pf2", lambda: "x", tenant="D",
+                                priority=PRIORITY_PREFETCH)
+            assert pf2.rejected
+            s = server.stats()
+            assert s["shed"] == 1 and s["rejected"] == 1
+        finally:
+            server.close()
+
+    def test_submit_after_close_rejected(self):
+        server = self.drain_server()
+        server.close()
+        req = server.submit("k", lambda: 1, tenant="A")
+        assert req.rejected
+        assert req.error == "server closed"
+
+    def test_close_fails_queued_requests(self):
+        server = self.drain_server()
+        errors = []
+        req = server.submit("k", lambda: 1, tenant="A",
+                            on_error=errors.append)
+        server.close()
+        assert req.state == "failed"
+        assert errors == ["server closed"]
+
+    def test_cancel_removes_queued_request(self):
+        server = self.drain_server()
+        try:
+            ran = []
+            server.submit("k", lambda: ran.append(1), tenant="A")
+            assert server.cancel("k", tenant="A") is not None
+            server.drain()
+            assert ran == []
+        finally:
+            server.close()
+
+
+# -- cross-VM dedup -----------------------------------------------------------
+
+
+class TestCrossVMDedup:
+    def test_async_follower_runs_after_leader(self):
+        server = CompileServer(workers=0)
+        try:
+            calls = []
+            lead = server.submit("k", lambda: calls.append("lead") or "L",
+                                 tenant="A")
+            follow = server.submit("k", lambda: calls.append("follow") or "F",
+                                   tenant="B")
+            assert follow is not lead       # own handle, own result
+            server.drain()
+            # The leader compiled; the follower ran afterwards (against
+            # a then-warm store in real use) and got its own result.
+            assert calls == ["lead", "follow"]
+            assert lead.wait(1.0) == "L"
+            assert follow.wait(1.0) == "F"
+            assert server.stats()["dedup_followers"] == 1
+        finally:
+            server.close()
+
+    def test_urgent_follower_inherits_priority(self):
+        server = CompileServer(workers=0)
+        try:
+            order = []
+            server.submit("k", lambda: order.append("k"), tenant="A",
+                          priority=PRIORITY_PREFETCH)
+            server.submit("x", lambda: order.append("x"), tenant="B",
+                          priority=PRIORITY_TIER1)
+            # B joins A's prefetch with OSR urgency: the shared compile
+            # must now beat B's own tier-1 request.
+            server.submit("k", lambda: order.append("k2"), tenant="B",
+                          priority=PRIORITY_OSR)
+            server.drain()
+            assert order[0] == "k"
+        finally:
+            server.close()
+
+    def test_coordinate_single_flight_across_threads(self, tmp_path):
+        server = CompileServer(cache_dir=tmp_path / "cc", workers=0)
+        try:
+            expensive = []
+            warm = threading.Event()
+
+            def load_or_build(tag):
+                if warm.is_set():
+                    return "rehydrate-%s" % tag
+                expensive.append(tag)
+                time.sleep(0.05)        # the "compile"
+                warm.set()
+                return "compile-%s" % tag
+
+            results = {}
+
+            def tenant(tag):
+                results[tag] = server.coordinate(
+                    "f" * 64, lambda: load_or_build(tag), tenant=tag)
+
+            threads = [threading.Thread(target=tenant, args=("t%d" % i,))
+                       for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # One compile; everyone else waited and rehydrated.
+            assert len(expensive) == 1
+            assert len(results) == 4
+            assert server.stats()["dedup_waits"] == 3
+        finally:
+            server.close()
+
+    def test_whole_fleet_compiles_once(self, tmp_path):
+        """The headline property: N tenants compiling the same unit cost
+        the fleet ONE compile; the rest are warm loads."""
+        server = CompileServer(cache_dir=tmp_path / "cc", workers=2)
+        try:
+            compiles = []
+
+            def tenant(idx):
+                j = make_jit(server)
+                f = j.compile_function("Main", "work")
+                assert f(10) == EXPECTED_WORK_10
+                compiles.append(j.telemetry.metrics.get("compiles"))
+                j.close()
+
+            threads = [threading.Thread(target=tenant, args=(i,))
+                       for i in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert server.store.stats()["entries"] == 1
+            assert sum(compiles) <= 2   # ~1; tolerate one race straggler
+        finally:
+            server.close()
+
+
+# -- the client shim ----------------------------------------------------------
+
+
+class TestServerClient:
+    def test_stats_expose_server_section(self, tmp_path):
+        server = CompileServer(cache_dir=tmp_path / "cc", workers=0)
+        try:
+            j = make_jit(server)
+            st = j.stats()["server"]
+            assert st["alive"]
+            assert st["tenant"] in server.stats()["tenants"]
+            assert st["server"]["store"]["shards"] == 8
+            j.close()
+        finally:
+            server.close()
+
+    def test_async_compiler_prefers_live_server(self, tmp_path):
+        server = CompileServer(cache_dir=tmp_path / "cc", workers=0)
+        j = Lancet(options=CompileOptions(compile_workers=1))
+        try:
+            local = j.compile_service
+            assert j.async_compiler is local
+            client = j.attach_compile_server(server)
+            assert j.async_compiler is client
+            server.close()
+            # Server died: transparent fallback to the local service.
+            assert j.async_compiler is local
+        finally:
+            server.close()
+            j.close()
+
+    def test_submit_falls_back_to_local_service_when_dead(self, tmp_path):
+        server = CompileServer(cache_dir=tmp_path / "cc", workers=0)
+        j = Lancet(options=CompileOptions(compile_workers=1))
+        try:
+            client = j.attach_compile_server(server)
+            server.close()
+            req = client.submit("k", lambda: "local", tenant="x")
+            assert req.wait(5.0) == "local"
+            assert client.fallbacks == 1
+            assert client.stats()["fallbacks"] == 1
+        finally:
+            server.close()
+            j.close()
+
+    def test_submit_rejects_when_dead_and_no_local(self, tmp_path):
+        server = CompileServer(cache_dir=tmp_path / "cc", workers=0)
+        j = make_jit(server)
+        server.close()
+        req = j.compile_server.submit("k", lambda: 1)
+        assert req.rejected
+        j.close()
+
+    def test_coordinate_runs_locally_when_dead(self, tmp_path):
+        server = CompileServer(cache_dir=tmp_path / "cc", workers=0)
+        j = make_jit(server)
+        server.close()
+        assert j.compile_server.coordinate("a" * 64, lambda: "inline") \
+            == "inline"
+        j.close()
+
+    def test_env_auto_attach(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILE_SERVER", str(tmp_path / "cc"))
+        try:
+            j = Lancet()
+            assert j.compile_server is not None
+            assert isinstance(j.codecache, ShardedCodeCache)
+            j2 = Lancet()
+            # Same directory -> same process-wide server, new tenant.
+            assert j2.compile_server.server is j.compile_server.server
+            j.close()
+            j2.close()
+        finally:
+            close_shared_servers()
+
+    def test_tier_promotion_routes_through_server(self, tmp_path):
+        server = CompileServer(cache_dir=tmp_path / "cc", workers=2)
+        try:
+            j = make_jit(server, tier1_threshold=2, tier2_threshold=4)
+            tf = j.compile_tiered("Main", "work")
+            for _ in range(8):
+                assert tf(10) == EXPECTED_WORK_10
+            deadline = time.monotonic() + 5.0
+            while tf.tier < 2 and time.monotonic() < deadline:
+                tf(10)
+                time.sleep(0.01)
+            assert tf.tier == 2
+            assert server.stats()["completed"] >= 1
+            j.close()
+        finally:
+            server.close()
+
+
+# -- prefetch fallback (satellite) --------------------------------------------
+
+
+class TestPrefetchFallback:
+    def test_prefetch_without_service_probes_cache(self, tmp_path):
+        cache = str(tmp_path / "cc")
+        j1 = make_jit(None, cache_dir=cache)
+        f = j1.compile_function("Main", "work")
+        assert f(10) == EXPECTED_WORK_10
+        j1.close()
+        # No CompileService, no server: prefetch degrades to a warm-start
+        # probe and installs the cached unit synchronously.
+        j2 = make_jit(None, cache_dir=cache)
+        assert j2.compile_service is None and j2.compile_server is None
+        hit = j2.prefetch("Main", "work")
+        assert hit is not None
+        assert hit(10) == EXPECTED_WORK_10
+        assert j2.telemetry.metrics.get("compiles") == 0
+        # The unit cache now holds it: compile_function is a pure hit.
+        assert j2.compile_function("Main", "work")(10) == EXPECTED_WORK_10
+        assert j2.telemetry.metrics.get("compiles") == 0
+        j2.close()
+
+    def test_prefetch_cold_miss_never_compiles(self, tmp_path):
+        j = make_jit(None, cache_dir=str(tmp_path / "cc"))
+        assert j.prefetch("Main", "other") is None
+        assert j.telemetry.metrics.get("compiles") == 0
+        j.close()
+
+    def test_prefetch_without_any_cache_is_none(self):
+        j = make_jit(None)
+        assert j.codecache is None
+        assert j.prefetch("Main", "work") is None
+        j.close()
+
+
+# -- per-kind hit/miss breakdown (satellite) ----------------------------------
+
+
+class TestByKindStats:
+    def test_unit_and_baseline_kinds_attributed(self, tmp_path):
+        cache = str(tmp_path / "cc")
+        j1 = make_jit(None, cache_dir=cache)
+        j1.compile_function("Main", "work")(10)
+        j1.close()
+        j2 = make_jit(None, cache_dir=cache)
+        j2.compile_function("Main", "work")(10)
+        by_kind = j2.stats()["codecache"]["by_kind"]
+        assert by_kind["unit"]["hits"] >= 1
+        j2.close()
+        # A cold dir shows the misses side.
+        j3 = make_jit(None, cache_dir=str(tmp_path / "cold"))
+        j3.compile_function("Main", "work")(10)
+        by_kind = j3.stats()["codecache"]["by_kind"]
+        assert by_kind["unit"]["misses"] >= 1
+        j3.close()
+
+
+# -- manifest prewarming ------------------------------------------------------
+
+
+class TestManifest:
+    def test_build_and_warm_roundtrip(self, tmp_path):
+        j = make_jit(None)
+        j.compile_function("Main", "work")(10)
+        j.compile_function("Main", "other")(3)
+        manifest = build_manifest(j)
+        assert manifest["version"] == 1
+        assert {(u["cls"], u["method"]) for u in manifest["units"]} == \
+            {("Main", "work"), ("Main", "other")}
+        assert manifest["sources"]
+        j.close()
+
+        store = ShardedCodeCache(tmp_path / "cc", telemetry=Telemetry())
+        summary = warm_from_manifest(manifest, store)
+        assert summary["errors"] == []
+        assert summary["units"] == 2
+        assert store.stats()["entries"] == 2
+        # Idempotent: a second warm rehydrates, compiles nothing.
+        summary2 = warm_from_manifest(manifest, store)
+        assert summary2["compiled"] == 0
+        assert summary2["warm_hits"] >= 2
+
+    def test_write_manifest_and_server_warm(self, tmp_path):
+        j = make_jit(None)
+        j.compile_function("Main", "work")(10)
+        path = tmp_path / "manifest.json"
+        write_manifest(j, str(path))
+        j.close()
+        server = CompileServer(cache_dir=tmp_path / "cc", workers=0)
+        try:
+            summary = server.warm(str(path))
+            assert summary["errors"] == []
+            assert server.store.stats()["entries"] == 1
+            # A tenant of the warmed server never compiles.
+            t = make_jit(server)
+            assert t.compile_function("Main", "work")(10) \
+                == EXPECTED_WORK_10
+            assert t.telemetry.metrics.get("compiles") == 0
+            t.close()
+        finally:
+            server.close()
+
+    def test_warm_collects_errors_instead_of_raising(self, tmp_path):
+        bad = {"version": 1, "sources": [], "units":
+               [{"cls": "Main", "method": "missing", "tier": 2}],
+               "fingerprints": []}
+        store = ShardedCodeCache(tmp_path / "cc")
+        summary = warm_from_manifest(bad, store)
+        assert summary["units"] == 0
+        assert len(summary["errors"]) == 1
+
+    def test_version_mismatch_is_an_error(self, tmp_path):
+        store = ShardedCodeCache(tmp_path / "cc")
+        summary = warm_from_manifest({"version": 99}, store)
+        assert summary["errors"]
+
+
+# -- the shared-server registry -----------------------------------------------
+
+
+class TestSharedRegistry:
+    def test_same_dir_same_server(self, tmp_path):
+        try:
+            a = shared_server(str(tmp_path / "cc"))
+            b = shared_server(str(tmp_path / "cc"))
+            c = shared_server(str(tmp_path / "other"))
+            assert a is b
+            assert a is not c
+        finally:
+            close_shared_servers()
+
+    def test_closed_server_is_replaced(self, tmp_path):
+        try:
+            a = shared_server(str(tmp_path / "cc"))
+            a.close()
+            b = shared_server(str(tmp_path / "cc"))
+            assert b is not a
+            assert not b.closed
+        finally:
+            close_shared_servers()
