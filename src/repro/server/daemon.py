@@ -138,7 +138,7 @@ class CompileServer:
                              on_error=on_error)
         req.tenant = tenant
         req.followers = []
-        victim = None
+        shed = []
         with self._cv:
             if self._closed:
                 req._finish(REJECTED, error="server closed")
@@ -163,8 +163,8 @@ class CompileServer:
                             reason="tenant-cap")
                 return req
             if self._depth >= self.queue_limit:
-                victim = self._shed_for_locked(priority)
-                if victim is None:
+                shed = self._shed_for_locked(priority)
+                if not shed:
                     self.rejected += 1
                     req._finish(REJECTED, error="queue full")
                     self._event("server.reject", key=repr(key),
@@ -176,7 +176,7 @@ class CompileServer:
                         priority=priority, depth=self._depth)
             self._ensure_workers()
             self._cv.notify()
-        if victim is not None:
+        for victim in shed:
             self._notify_error(victim)
         return req
 
@@ -219,8 +219,12 @@ class CompileServer:
 
     def _shed_for_locked(self, priority):
         """Backpressure: unlink and fail the newest request of the least
-        urgent nonempty priority strictly below ``priority``. Returns the
-        victim (caller fires its on_error outside the lock) or None."""
+        urgent nonempty priority strictly below ``priority``. Followers
+        parked on the victim are shed with it — their fingerprint never
+        compiles here, so they must fail back to their tenants' local
+        fallbacks, not wait forever. Returns the list of failed requests
+        (caller fires their on_error outside the lock); [] when nothing
+        is less urgent."""
         for prio in sorted(self._queues, reverse=True):
             if prio <= priority:
                 break
@@ -236,12 +240,18 @@ class CompileServer:
             self._tenant_depth[tenant] -= 1
             self._inflight.pop(victim.key, None)
             victim._finish(FAILED, error="shed under backpressure")
-            self.shed += 1
+            failed = [victim]
+            for f in victim.followers:
+                if not f.finished:
+                    f._finish(FAILED, error="shed under backpressure")
+                    failed.append(f)
+            victim.followers = []
+            self.shed += len(failed)
             self._gauge_depth_locked()
             self._event("server.shed", key=repr(victim.key), tenant=tenant,
-                        priority=prio)
-            return victim
-        return None
+                        priority=prio, followers=len(failed) - 1)
+            return failed
+        return []
 
     def cancel(self, key, tenant=None):
         """Cancel the in-flight request for ``key`` (optionally only when
@@ -325,10 +335,16 @@ class CompileServer:
         return ran
 
     def _run_one(self, req):
-        if req.finished:                # cancelled while queued
+        if req.finished:
+            # Cancelled while queued (e.g. via the public
+            # CompileRequest.cancel() handle, which bypasses
+            # CompileServer.cancel): followers must still run.
             with self._cv:
                 if self._inflight.get(req.key) is req:
                     self._inflight.pop(req.key, None)
+                self._adopt_followers_locked(req)
+                if self._depth:
+                    self._cv.notify()
             return
         req.state = RUNNING
         req.attempts += 1

@@ -28,6 +28,7 @@ hit for every other.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import threading
 
@@ -75,8 +76,11 @@ class ShardedCodeCache:
         try:
             return int(fingerprint[:2], 16) % self.n_shards
         except (ValueError, TypeError):
-            # Non-hex key (tests, exotic fingerprints): still deterministic.
-            return hash(fingerprint) % self.n_shards
+            # Non-hex key (tests, exotic fingerprints): must map to the
+            # same shard in every process sharing the store on disk, so
+            # no built-in hash() (randomized by PYTHONHASHSEED).
+            digest = hashlib.sha256(str(fingerprint).encode("utf-8"))
+            return int(digest.hexdigest()[:8], 16) % self.n_shards
 
     def shard_for(self, fingerprint):
         return self.shards[self._shard_index(fingerprint)]

@@ -52,6 +52,18 @@ class TestShardedCodeCache:
         for fp in ("%02x%s" % (b, "0" * 62) for b in range(32)):
             assert store.shard_for(fp) is store.shard_for(fp)
 
+    def test_non_hex_keys_map_stably_across_processes(self, tmp_path):
+        """The non-hex fallback must not depend on built-in hash()
+        (randomized per process by PYTHONHASHSEED): cross-process fleets
+        share the store on disk, so every process must agree on the
+        owning shard."""
+        import hashlib
+        store = ShardedCodeCache(tmp_path / "cc", shards=4)
+        for key in ("not-hex-key", "zz123", "Main.work/unit"):
+            expected = int(hashlib.sha256(key.encode("utf-8"))
+                           .hexdigest()[:8], 16) % 4
+            assert store._shard_index(key) == expected
+
     def test_budget_splits_across_shards(self, tmp_path):
         store = ShardedCodeCache(tmp_path / "cc", shards=8,
                                  budget_bytes=8 << 20)
@@ -172,6 +184,51 @@ class TestServerQueue:
             assert pf2.rejected
             s = server.stats()
             assert s["shed"] == 1 and s["rejected"] == 1
+        finally:
+            server.close()
+
+    def test_shed_leader_fails_followers_too(self):
+        """A shed queued leader takes its dedup followers with it: each
+        is failed (never orphaned waiting on a compile that will not
+        happen) and its on_error fires, so the tenants fall back."""
+        server = self.drain_server(queue_limit=2)
+        try:
+            errors = []
+            lead = server.submit("pf", lambda: "pf", tenant="A",
+                                 priority=PRIORITY_PREFETCH,
+                                 on_error=lambda e: errors.append(("A", e)))
+            follow = server.submit("pf", lambda: "pf2", tenant="B",
+                                   priority=PRIORITY_PREFETCH,
+                                   on_error=lambda e: errors.append(("B", e)))
+            server.submit("t1", lambda: "t1", tenant="C",
+                          priority=PRIORITY_TIER1)
+            osr = server.submit("osr", lambda: "osr", tenant="D",
+                                priority=PRIORITY_OSR)
+            assert not osr.rejected
+            assert lead.finished and follow.finished
+            assert follow.state == "failed"
+            assert follow.wait(0.1) is None     # returns, never hangs
+            assert sorted(errors) == [("A", "shed under backpressure"),
+                                      ("B", "shed under backpressure")]
+            assert server.stats()["shed"] == 2  # leader + follower
+        finally:
+            server.close()
+
+    def test_handle_cancel_of_queued_leader_adopts_followers(self):
+        """Cancelling a queued leader via its public CompileRequest
+        handle (bypassing CompileServer.cancel) must not orphan its
+        followers: the worker's early return re-enqueues them."""
+        server = self.drain_server()
+        try:
+            ran = []
+            lead = server.submit("k", lambda: ran.append("lead"),
+                                 tenant="A")
+            follow = server.submit("k", lambda: ran.append("follow") or "F",
+                                   tenant="B")
+            lead.cancel()               # the handle, not server.cancel()
+            server.drain()
+            assert ran == ["follow"]
+            assert follow.wait(1.0) == "F"
         finally:
             server.close()
 
