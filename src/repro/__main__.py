@@ -12,6 +12,10 @@
 checkNoAlloc, plus informational findings from the optimization passes)
 over the named functions — every top-level function when none are named —
 and exits nonzero when any error-severity finding is reported.
+``analyze --delite`` narrows the report to the parallel-safety verdicts
+(:mod:`repro.analysis.parsafe`) and renders them as a per-op table —
+verdict, deciding checker, and blame provenance for every Delite launch
+— so ``--strict`` then gates exactly on "every op proven parallel".
 
 ``validate`` runs the same pipeline but reports only the speculation-
 soundness checkers (IR verifier, per-pass translation validator,
@@ -220,8 +224,35 @@ def _analysis_names(args):
 _SOUNDNESS_KINDS = ("verify", "validate", "deoptcheck", "compile")
 
 
+def _render_delite_table(unit, findings):
+    """Per-op parallel-safety verdict table for one analyzed unit."""
+    rows = [d.data for d in findings if d.data]
+    proven = sum(1 for r in rows if r.get("status") == "ProvenParallel")
+    lines = ["Delite parallel-safety for %s: %d op(s), %d proven parallel"
+             % (unit or "<unit>", len(rows), proven)]
+    if not rows:
+        return lines[0]
+    cols = ("sym", "op_name", "op_kind", "status", "checker")
+    heads = ("sym", "op", "kind", "verdict", "checker")
+    widths = [max(len(h), max(len(str(r.get(c, ""))) for r in rows))
+              for c, h in zip(cols, heads)]
+    fmt = "  " + "  ".join("%%-%ds" % w for w in widths) + "  %s"
+    lines.append(fmt % (heads + ("blame",)))
+    for r in rows:
+        lines.append(fmt % tuple([str(r.get(c, "")) for c in cols]
+                                 + [r.get("blame", "")]))
+    return "\n".join(lines)
+
+
 def _run_analysis(args, kinds=None):
     jit = _load(args.program, args.module)
+    delite = getattr(args, "delite", False)
+    if delite:
+        # Delite ops come from the OptiML accelerator macros; load the
+        # library and install them so the bundled apps analyze as they
+        # compile.
+        from repro.optiml import load_optiml
+        load_optiml(jit)
     names = _analysis_names(args)
     if names is None:
         print("error: no class %s in %s" % (args.module, args.program),
@@ -235,6 +266,8 @@ def _run_analysis(args, kinds=None):
             diag.findings = [d for d in diag.findings if d.kind in kinds]
         if args.json:
             print(json.dumps(diag.to_dict(), indent=2, sort_keys=True))
+        elif delite:
+            print(_render_delite_table(diag.unit or fn, diag.findings))
         else:
             print(diag.render())
         if diag.errors():
@@ -245,6 +278,10 @@ def _run_analysis(args, kinds=None):
 
 
 def cmd_analyze(args):
+    if getattr(args, "delite", False):
+        # Narrow to the parsafe verdicts: --strict then means "exit
+        # nonzero unless every Delite op is ProvenParallel".
+        return _run_analysis(args, kinds=("parsafe",))
     return _run_analysis(args)
 
 
@@ -368,6 +405,9 @@ def main(argv=None):
                    help="emit each report as JSON instead of text")
     p.add_argument("--strict", action="store_true",
                    help="exit nonzero on any non-info finding")
+    p.add_argument("--delite", action="store_true",
+                   help="report only the Delite parallel-safety verdicts, "
+                        "as a per-op table with checker/blame provenance")
     p.set_defaults(handler=cmd_analyze)
 
     p = sub.add_parser("validate",

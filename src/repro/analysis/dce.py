@@ -9,7 +9,8 @@ finally disappear — which is also why the post-optimization
 
 from __future__ import annotations
 
-from repro.analysis.liveness import REMOVABLE_EFFECTS, live_sets
+from repro.analysis.liveness import (REMOVABLE_EFFECTS, live_sets,
+                                     pinned_effectful)
 from repro.lms.ir import Effect
 
 
@@ -32,7 +33,8 @@ def eliminate_dead(blocks, entry_id=None):
         kept = []
         for stmt in reversed(block.stmts):
             name = stmt.sym.name
-            if stmt.effect not in REMOVABLE_EFFECTS or name in needed:
+            if stmt.effect not in REMOVABLE_EFFECTS or name in needed \
+                    or pinned_effectful(stmt):
                 kept.append(stmt)
                 needed.discard(name)
                 needed.update(a.name for a in stmt.args

@@ -22,6 +22,9 @@ class Diagnostic:
     kind: str                   # 'verify' | 'taint' | 'noalloc' | ...
     message: str
     unit: str = ""
+    # Optional structured payload (e.g. a parsafe per-op verdict dict)
+    # for tooling that wants more than the rendered message.
+    data: dict = None
 
     def format(self):
         where = " (%s)" % self.unit if self.unit else ""
@@ -39,11 +42,11 @@ class Diagnostics:
         self.unit = unit
         self.findings = []
 
-    def add(self, severity, kind, message, unit=None):
+    def add(self, severity, kind, message, unit=None, data=None):
         if severity not in SEVERITIES:
             raise ValueError("bad severity %r" % (severity,))
         d = Diagnostic(severity, kind, message,
-                       unit if unit is not None else self.unit)
+                       unit if unit is not None else self.unit, data=data)
         self.findings.append(d)
         return d
 

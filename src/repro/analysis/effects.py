@@ -139,6 +139,15 @@ def clobbers(stmt, key, fresh=frozenset()):
     """Does executing ``stmt`` invalidate a cached heap read ``key`` (as
     returned by :func:`load_key`)?"""
     effect = stmt.effect
+    if stmt.op == "delite":
+        # A Delite launch stages as Effect.ALLOC (it produces a fresh
+        # output array), but its *kernel* may still write captured
+        # state. The kernel effect summary (repro.analysis.parsafe)
+        # answers precisely: a proven write-free kernel cannot clobber
+        # any pre-existing heap read; anything unproven clobbers
+        # everything.
+        from repro.analysis.parsafe import delite_write_free
+        return not delite_write_free(stmt)
     if effect in (Effect.PURE, Effect.ALLOC, Effect.GUARD):
         return False
     if stmt.op in COPY_OPS:
@@ -165,7 +174,7 @@ def clobbers(stmt, key, fresh=frozenset()):
         if key[0] != "getfield" or written != key[2]:
             return False
         return may_alias(base, key[1], fresh)
-    # Residual calls, natives, delite kernels, IO: assume arbitrary writes.
+    # Residual calls, natives, IO: assume arbitrary writes.
     return True
 
 

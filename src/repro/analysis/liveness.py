@@ -23,6 +23,18 @@ from repro.lms.ir import Effect
 REMOVABLE_EFFECTS = (Effect.PURE, Effect.ALLOC)
 
 
+def pinned_effectful(stmt):
+    """A statement whose removable-looking effect hides a real one: a
+    Delite launch stages as ``Effect.ALLOC``, but its kernel may write
+    captured state — deleting it when the result is unused would drop
+    those writes. The kernel summary (:mod:`repro.analysis.parsafe`)
+    decides; unproven kernels stay pinned."""
+    if stmt.op != "delite":
+        return False
+    from repro.analysis.parsafe import delite_write_free
+    return not delite_write_free(stmt)
+
+
 class LivenessAnalysis(BackwardAnalysis):
     """Live symbol names at each block boundary (may-analysis, union join).
 
@@ -44,7 +56,8 @@ class LivenessAnalysis(BackwardAnalysis):
         live.update(term_uses(block.terminator))
         for stmt in reversed(block.stmts):
             name = stmt.sym.name
-            if stmt.effect not in REMOVABLE_EFFECTS or name in live:
+            if stmt.effect not in REMOVABLE_EFFECTS or name in live \
+                    or pinned_effectful(stmt):
                 live.discard(name)
                 live.update(stmt_uses(stmt))
             else:

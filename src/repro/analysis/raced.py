@@ -1,0 +1,191 @@
+"""Dynamic race sanitizer for chunked Delite execution.
+
+The static analysis in :mod:`repro.analysis.parsafe` *proves* ops
+parallel; this module *checks the prover* (the PR 7 stance applied at
+runtime): under ``REPRO_PARSAFE=check`` the Delite runtime runs every
+chunked execution of a ``ProvenParallel`` op under a
+:class:`WriteSanitizer`, which records per-chunk write footprints
+(object id + index/field ranges) over every heap object the kernel
+could reach — element inputs, uniforms, and state captured by the
+kernel closure — and raises :class:`~repro.errors.RaceDetected` when
+two chunks' footprints overlap.
+
+Footprints are observed by snapshot/diff: watched arrays are copied
+before the launch and compared after each chunk runs. The comparison
+attributes each newly-changed location to the chunk that just finished;
+a location already attributed to an earlier chunk is an overlap. (Like
+any dynamic sanitizer this can miss silent same-value overwrites; it
+can never report a false race, because two chunks must both have
+changed the same location for one to fire.)
+
+NumPy element-input chunks are *views*, so kernel writes land in the
+watched originals; list chunks are copies, so writes to a chunk copy are
+private by construction and correctly invisible here. Captured guest
+objects (:class:`~repro.runtime.objects.Obj`) are watched field-wise;
+captured lists and arrays element-wise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RaceDetected
+from repro.runtime.objects import Obj
+
+__all__ = ["RaceDetected", "WriteSanitizer", "watched_roots"]
+
+#: How deep to chase captured state through object fields.
+_WALK_DEPTH = 4
+
+
+def watched_roots(op, elems, uniforms):
+    """Every mutable heap object a kernel application could write:
+    the element inputs, the uniforms, and the kernel closure's captured
+    state (transitively through object fields). Keyed by id; values are
+    ``(label, object)``."""
+    roots = {}
+
+    def add(label, obj):
+        if isinstance(obj, (np.ndarray, list)) or isinstance(obj, Obj):
+            roots.setdefault(id(obj), (label, obj))
+
+    for i, e in enumerate(elems):
+        add("elem[%d]" % i, e)
+    for i, u in enumerate(uniforms):
+        add("uniform[%d]" % i, u)
+    closure = getattr(getattr(op, "kernel", None), "guest_closure", None)
+    if closure is not None:
+        _walk_captured("captured", closure, roots, _WALK_DEPTH)
+    return roots
+
+
+def _walk_captured(label, obj, roots, depth):
+    if depth <= 0 or id(obj) in roots:
+        return
+    if isinstance(obj, Obj):
+        roots[id(obj)] = (label, obj)
+        for fname, val in obj.fields.items():
+            _walk_captured("%s.%s" % (label, fname), val, roots, depth - 1)
+    elif isinstance(obj, (np.ndarray, list)):
+        roots[id(obj)] = (label, obj)
+
+
+def _snapshot(obj):
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, list):
+        return list(obj)
+    return dict(obj.fields)                  # Obj
+
+
+def _changed_keys(obj, snap):
+    """Locations of ``obj`` that differ from its snapshot: flat indices
+    for arrays/lists, field names for objects."""
+    if isinstance(obj, np.ndarray):
+        cur, old = obj.ravel(), snap.ravel()
+        if cur.shape != old.shape:
+            return list(range(cur.size))     # resized: everything changed
+        diff = cur != old
+        if cur.dtype.kind == "f":
+            diff &= ~(np.isnan(cur) & np.isnan(old))
+        return np.flatnonzero(diff).tolist()
+    if isinstance(obj, list):
+        if len(obj) != len(snap):
+            return list(range(max(len(obj), len(snap))))
+        return [i for i, (a, b) in enumerate(zip(obj, snap))
+                if a is not b and not _eq(a, b)]
+    return [f for f in set(obj.fields) | set(snap)
+            if obj.fields.get(f) is not snap.get(f)
+            and not _eq(obj.fields.get(f), snap.get(f))]
+
+
+def _eq(a, b):
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+def _to_ranges(keys):
+    """Compress sorted integer indices to (lo, hi) inclusive ranges;
+    non-integer keys (field names) pass through."""
+    ints = sorted(k for k in keys if isinstance(k, int))
+    fields = [k for k in keys if not isinstance(k, int)]
+    ranges = []
+    for i in ints:
+        if ranges and i == ranges[-1][1] + 1:
+            ranges[-1] = (ranges[-1][0], i)
+        else:
+            ranges.append((i, i))
+    return ranges + fields
+
+
+class WriteSanitizer:
+    """Records per-chunk write footprints during a chunked Delite launch
+    and reports overlaps.
+
+    Usage (see :meth:`DeliteRuntime._run_chunked`)::
+
+        san = WriteSanitizer(op, elems, uniforms)
+        for c, (lo, hi) in enumerate(chunks):
+            execute(chunk)
+            san.after_chunk(c, lo, hi)
+        san.finish()        # raises RaceDetected on overlap
+    """
+
+    def __init__(self, op, elems, uniforms):
+        self.op_name = getattr(op, "name", type(op).__name__)
+        self.roots = watched_roots(op, elems, uniforms)
+        self.snaps = {oid: _snapshot(obj)
+                      for oid, (_, obj) in self.roots.items()}
+        # (object id, location key) -> first chunk that wrote it
+        self.writers = {}
+        self.footprints = {}         # chunk -> {label: [ranges]}
+        self.overlaps = []
+
+    def after_chunk(self, chunk, lo, hi):
+        """Diff every watched object against its last observation; the
+        delta is ``chunk``'s write footprint (the chunk just ran
+        ``[lo, hi)``). A location already owned by an earlier chunk is
+        an overlap."""
+        fp = {}
+        for oid, (label, obj) in self.roots.items():
+            changed = _changed_keys(obj, self.snaps[oid])
+            if not changed:
+                continue
+            # Re-baseline so the next chunk's diff sees only its own
+            # writes, not this chunk's.
+            self.snaps[oid] = _snapshot(obj)
+            new = []
+            for key in changed:
+                owner = self.writers.get((oid, key))
+                if owner is None:
+                    self.writers[(oid, key)] = chunk
+                    new.append(key)
+                elif owner != chunk:
+                    self.overlaps.append(
+                        {"object": label, "location": key,
+                         "chunks": (owner, chunk)})
+            if new:
+                fp[label] = _to_ranges(new)
+        if fp:
+            self.footprints[chunk] = fp
+        return fp
+
+    def finish(self, telemetry=None):
+        """Raise :class:`RaceDetected` when any overlap was observed;
+        returns the per-chunk footprints otherwise."""
+        if self.overlaps:
+            if telemetry is not None:
+                telemetry.inc("parsafe.races")
+                telemetry.record("parsafe.race", op=self.op_name,
+                                 overlaps=list(self.overlaps),
+                                 footprints=dict(self.footprints))
+            first = self.overlaps[0]
+            raise RaceDetected(
+                "race detected in %s: chunks %s and %s both wrote %s[%s]"
+                " (%d overlapping location(s) total)"
+                % (self.op_name, first["chunks"][0], first["chunks"][1],
+                   first["object"], first["location"], len(self.overlaps)),
+                op_name=self.op_name, overlaps=self.overlaps)
+        return self.footprints

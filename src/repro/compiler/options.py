@@ -19,6 +19,13 @@ def _env_validate():
         not in ("", "0", "false", "no", "off")
 
 
+def _env_parsafe():
+    """Default for the Delite parallel-safety gate: the REPRO_PARSAFE
+    environment variable selects the mode; unset/unknown means off."""
+    mode = os.environ.get("REPRO_PARSAFE", "").strip().lower()
+    return mode if mode in ("check", "enforce") else "off"
+
+
 def _env_baseline():
     """Default for the template baseline tier: on unless REPRO_BASELINE
     disables it (the CI ablation leg and A/B benchmarks set 0)."""
@@ -74,6 +81,17 @@ class CompileOptions:
 
     # Delite accelerator-op fusion (paper 3.4); off for ablations.
     delite_fusion: bool = True
+
+    # Delite parallel-safety analysis (repro.analysis.parsafe), gating
+    # which ops the smp/gpu backends may run: 'off' trusts every op (the
+    # pre-PR-10 behavior); 'enforce' classifies each DeliteOp and demotes
+    # anything not ProvenParallel to the seq backend (with a
+    # parsafe.fallback event); 'check' additionally arms the dynamic
+    # write sanitizer (repro.analysis.raced) on every chunked execution,
+    # raising RaceDetected when two chunks' write footprints overlap —
+    # the runtime cross-check of the static verdicts. Defaults from
+    # REPRO_PARSAFE (the CI sanitizer leg sets 'check').
+    parsafe: str = dataclasses.field(default_factory=_env_parsafe)
 
     # Tier-2 optimization passes powered by the static analyses in
     # repro.analysis (effects/escape/ranges). Each flag gates one pass so

@@ -12,17 +12,32 @@ Rewrites chains of Delite statements inside compiled code:
 
 Producers whose only consumer was fused away become dead and are removed
 by the regular DCE pass (delite ops are functional).
+
+Every rewrite is *legality-gated* by the parallel-safety summaries
+(:mod:`repro.analysis.parsafe`): composing kernels reorders their
+effects, so ``fuse`` refuses — with a ``fusion.reject`` telemetry
+event — any rewrite whose kernels it cannot prove write-free (and any
+ZipMap whose element inputs may alias under an unproven kernel). Each
+performed rewrite is journaled and re-checked against the summaries
+afterwards, the fusion analogue of per-pass translation validation:
+a re-check finding means the preflight and the summaries disagree and
+raises :class:`~repro.errors.ParallelSafetyError` (or becomes an error
+diagnostic in collect mode).
 """
 
 from __future__ import annotations
 
+from repro.analysis.effects import fresh_syms
+from repro.analysis.parsafe import (FusionRecord, check_fusion,
+                                    recheck_fusions)
 from repro.bytecode.builder import MethodBuilder
 from repro.bytecode.classfile import ClassFile
+from repro.errors import ParallelSafetyError
 from repro.lms.ir import Branch, Deopt, Jump, OsrCompile, Return
 from repro.lms.rep import Sym
 
 
-def fuse_delite(blocks, jit=None):
+def fuse_delite(blocks, jit=None, diagnostics=None):
     """Fuse Delite stmt chains in-place; returns the number of fusions."""
     delite_stmts = {}
     for block in blocks.values():
@@ -32,6 +47,10 @@ def fuse_delite(blocks, jit=None):
     if not delite_stmts:
         return 0
 
+    tel = getattr(jit, "telemetry", None)
+    fresh = fresh_syms(blocks)
+    journal = []
+    rejected = set()      # (consumer sym, producer sym): don't re-probe
     uses = _count_uses(blocks)
     fused = 0
     changed = True
@@ -41,10 +60,22 @@ def fuse_delite(blocks, jit=None):
             for stmt in block.stmts:
                 if stmt.op != "delite":
                     continue
-                if _try_fuse(stmt, delite_stmts, uses, jit):
+                if _try_fuse(stmt, delite_stmts, uses, jit, journal,
+                             rejected, fresh, tel):
                     uses = _count_uses(blocks)
                     fused += 1
                     changed = True
+    if journal:
+        findings = recheck_fusions(journal, fresh)
+        if findings:
+            if tel is not None:
+                tel.record("fusion.recheck_fail", findings=list(findings))
+            if diagnostics is not None:
+                diagnostics.extend("error", "parsafe", findings)
+            else:
+                raise ParallelSafetyError(
+                    "fusion re-check failed: %s" % "; ".join(findings),
+                    findings=findings)
     return fused
 
 
@@ -83,7 +114,23 @@ def _producer_of(rep, delite_stmts, uses):
     return delite_stmts.get(rep.name)
 
 
-def _try_fuse(stmt, delite_stmts, uses, jit):
+def _legal(kind, kernels, elem_reps, fresh, rejected, site, tel):
+    """Preflight one candidate rewrite against the summaries; fires a
+    ``fusion.reject`` event (once per site) on refusal."""
+    ok, checker, reason = check_fusion(kind, kernels, elem_reps, fresh)
+    if ok:
+        return True
+    if site not in rejected:
+        rejected.add(site)
+        if tel is not None:
+            tel.inc("fusion.rejects")
+            tel.record("fusion.reject", kind=kind, checker=checker,
+                       reason=reason,
+                       kernels=[k.name for k in kernels])
+    return False
+
+
+def _try_fuse(stmt, delite_stmts, uses, jit, journal, rejected, fresh, tel):
     from repro.delite.ops import (MapIndexedOp, MapOp, MapReduceOp,
                                   ReduceOp, ZipMapOp, ZipWithIndexOp)
     op = stmt.args[0]
@@ -92,15 +139,31 @@ def _try_fuse(stmt, delite_stmts, uses, jit):
         producer = _producer_of(stmt.args[1], delite_stmts, uses)
         if producer is None:
             return False
+        site = (stmt.sym.name, producer.sym.name)
+        if site in rejected:
+            return False
         pop = producer.args[0]
         if isinstance(pop, MapOp):
+            kernels = (pop.kernel, op.kernel)
+            elem_reps = tuple(producer.args[1:1 + pop.n_elem])
+            if not _legal("map-map", kernels, elem_reps, fresh, rejected,
+                          site, tel):
+                return False
             fused = MapOp(pop.kernel.compose(op.kernel))
             stmt.args = (fused,) + tuple(producer.args[1:])
+            journal.append(FusionRecord("map-map", stmt, fused, kernels,
+                                        elem_reps))
             return True
         if isinstance(pop, ZipWithIndexOp) and jit is not None:
+            if not _legal("soa", (op.kernel,), (), fresh, rejected, site,
+                          tel):
+                return False
             indexed = _indexify_kernel(jit, op.kernel)
             if indexed is not None:
-                stmt.args = (MapIndexedOp(indexed),) + tuple(producer.args[1:])
+                fused = MapIndexedOp(indexed)
+                stmt.args = (fused,) + tuple(producer.args[1:])
+                journal.append(FusionRecord("soa", stmt, fused,
+                                            (op.kernel, indexed)))
                 return True
         return False
 
@@ -108,19 +171,29 @@ def _try_fuse(stmt, delite_stmts, uses, jit):
         producer = _producer_of(stmt.args[1], delite_stmts, uses)
         if producer is None:
             return False
+        site = (stmt.sym.name, producer.sym.name)
+        if site in rejected:
+            return False
         pop = producer.args[0]
+        if isinstance(pop, (MapOp, ZipMapOp, MapIndexedOp)):
+            kernels = (pop.kernel,)
+            elem_reps = tuple(producer.args[1:1 + pop.n_elem])
+            if not _legal("map-reduce", kernels, elem_reps, fresh,
+                          rejected, site, tel):
+                return False
         if isinstance(pop, MapOp):
-            stmt.args = (MapReduceOp(pop.kernel, n_elem=1),) \
-                + tuple(producer.args[1:])
-            return True
-        if isinstance(pop, ZipMapOp):
-            stmt.args = (MapReduceOp(pop.kernel, n_elem=2),) \
-                + tuple(producer.args[1:])
-            return True
-        if isinstance(pop, MapIndexedOp):
-            stmt.args = (MapReduceOp(pop.kernel, n_elem=1, indexed=True),) \
-                + tuple(producer.args[1:])
-            return True
+            fused = MapReduceOp(pop.kernel, n_elem=1)
+        elif isinstance(pop, ZipMapOp):
+            fused = MapReduceOp(pop.kernel, n_elem=2)
+        elif isinstance(pop, MapIndexedOp):
+            fused = MapReduceOp(pop.kernel, n_elem=1, indexed=True)
+        else:
+            return False
+        stmt.args = (fused,) + tuple(producer.args[1:])
+        journal.append(FusionRecord("map-reduce", stmt, fused,
+                                    (pop.kernel,),
+                                    tuple(stmt.args[1:1 + pop.n_elem])))
+        return True
     return False
 
 

@@ -16,11 +16,22 @@ import numpy as np
 
 class DeliteOp:
     """Base descriptor. ``n_elem`` element inputs come first in the call's
-    argument list; the rest are uniforms."""
+    argument list; the rest are uniforms.
+
+    Two declared facts feed the parallel-safety analysis
+    (:mod:`repro.analysis.parsafe`): ``scalar_result`` marks ops whose
+    value is an identity-free scalar (safe to CSE/hoist when the kernel
+    is proven write-free — array results carry identity and stay
+    pinned), and ``total`` marks ops that cannot raise a guest error for
+    well-typed inputs. Builtins declare ``total`` by contract (they are
+    tuned, vetted patterns — the Delite stance); guest-kernel ops leave
+    it False and must prove totality from their kernel IR."""
 
     name = "op"
     n_elem = 1
     gpu_capable = True
+    scalar_result = False
+    total = False
 
     def __repr__(self):
         return "<%s %s>" % (type(self).__name__, self.name)
@@ -60,6 +71,8 @@ class MapIndexedOp(DeliteOp):
 class ReduceOp(DeliteOp):
     """Fold with a binary kernel (or '+' builtin) over one array."""
 
+    scalar_result = True
+
     def __init__(self, kernel=None, zero=0, name=None):
         self.kernel = kernel           # None -> sum
         self.zero = zero
@@ -72,6 +85,8 @@ class ReduceOp(DeliteOp):
 class MapReduceOp(DeliteOp):
     """sum_i kernel(xs_0[i], ..) — vertical fusion of Map/ZipMap into a
     Reduce (paper Fig. 8: DeliteOpMapReduce)."""
+
+    scalar_result = True
 
     def __init__(self, map_kernel, n_elem=1, indexed=False, name=None):
         self.kernel = map_kernel
@@ -101,6 +116,8 @@ class ElementwiseBuiltin(DeliteOp):
     ``scalar_fn(elem_values, uniforms) -> value``.
     """
 
+    total = True         # builtin contract: no guest error possible
+
     def __init__(self, name, n_elem, numpy_fn, scalar_fn):
         self.name = name
         self.n_elem = n_elem
@@ -116,12 +133,16 @@ class ReduceBuiltin(DeliteOp):
     ``combine(a, b) -> partial``.
     """
 
-    def __init__(self, name, n_elem, numpy_fn, combine, finalize=None):
+    total = True         # builtin contract: no guest error possible
+
+    def __init__(self, name, n_elem, numpy_fn, combine, finalize=None,
+                 scalar_result=False):
         self.name = name
         self.n_elem = n_elem
         self.numpy_fn = numpy_fn
         self.combine = combine
         self.finalize = finalize
+        self.scalar_result = scalar_result
         self.gpu_capable = True
 
 
@@ -243,18 +264,20 @@ def weighted_col_sums(d):
 DOT = ReduceBuiltin(
     "dot", 2,
     lambda elems, uniforms: float(np.dot(elems[0], elems[1])),
-    combine=lambda a, b: a + b)
+    combine=lambda a, b: a + b, scalar_result=True)
 
 VSUM = ReduceBuiltin(
     "vsum", 1,
     lambda elems, uniforms: float(np.sum(elems[0])),
-    combine=lambda a, b: a + b)
+    combine=lambda a, b: a + b, scalar_result=True)
 
 
 class RangeMapReduceOp(DeliteOp):
     """sum_{i=start..end} kernel(i) — the paper's Fig. 8
     ``DeliteOpMapReduce`` over an index range. The range arrives as two
     uniform args; chunking splits the index space."""
+
+    scalar_result = True
 
     def __init__(self, kernel, name=None):
         self.kernel = kernel

@@ -11,6 +11,15 @@ parallelism::
 
 The GPU backend executes whole-array numpy (vectorized kernels are the
 CUDA stand-in) and adds a per-kernel launch overhead.
+
+Parallel-safety gating (``REPRO_PARSAFE`` / ``CompileOptions.parsafe``):
+with the mode at ``check`` or ``enforce``, an op must be statically
+classified ``ProvenParallel`` by :mod:`repro.analysis.parsafe` before
+the smp/gpu backends will touch it — unproven ops fall back to ``seq``
+with a ``parsafe.fallback`` event. In ``check`` mode, chunked execution
+additionally runs under the :mod:`repro.analysis.raced` write sanitizer,
+which records per-chunk write footprints and raises ``RaceDetected`` on
+overlap — the dynamic cross-check of the static verdicts.
 """
 
 from __future__ import annotations
@@ -19,6 +28,8 @@ import time
 
 import numpy as np
 
+from repro.analysis.parsafe import classify_op, parsafe_mode_from_env
+from repro.analysis.raced import WriteSanitizer
 from repro.delite.ops import (DeliteOp, ElementwiseBuiltin, MapIndexedOp,
                               MapOp, MapReduceOp, RangeMapReduceOp,
                               ReduceBuiltin, ReduceOp, ZipMapOp,
@@ -29,7 +40,7 @@ class DeliteRuntime:
     """Executes Delite ops; owns the backend config and the sim clock."""
 
     def __init__(self, backend="seq", cores=1, sync_overhead_us=25.0,
-                 gpu_launch_us=40.0, gpu_speed_factor=16.0):
+                 gpu_launch_us=40.0, gpu_speed_factor=16.0, parsafe=None):
         self.backend = backend           # 'seq' | 'smp' | 'gpu'
         self.cores = cores
         self.sync_overhead_us = sync_overhead_us
@@ -42,6 +53,11 @@ class DeliteRuntime:
         self.real_time = 0.0
         self.ops_run = 0
         self.fused_ops_run = 0
+        # Parallel-safety gate: 'off' | 'check' | 'enforce'.
+        self.parsafe = parsafe if parsafe is not None \
+            else parsafe_mode_from_env()
+        self.parsafe_fallbacks = 0       # unproven ops demoted to seq
+        self.parsafe_checks = 0          # sanitized chunked launches
         self._np_cache = {}
         self.telemetry = None            # set by repro.jit.api.Lancet
 
@@ -118,16 +134,38 @@ class DeliteRuntime:
             # so chunked execution sees globally-correct indices.
             elems.append(np.arange(len(elems[0]), dtype=np.float64)
                          if _wants_numpy(op) else list(range(len(elems[0]))))
-        if self.backend == "gpu" and op.gpu_capable:
+        want_gpu = self.backend == "gpu" and op.gpu_capable
+        want_smp = self.backend == "smp" and self.cores > 1
+        if (want_gpu or want_smp) and self.parsafe != "off" \
+                and not self._parsafe_admit(op, tel):
+            want_gpu = want_smp = False      # refused: run sequentially
+        if want_gpu:
             result, sim = self._run_whole(op, elems, uniforms, 0.0)
             sim = sim / self.gpu_speed_factor + self.gpu_launch_us * 1e-6
-        elif self.backend == "smp" and self.cores > 1:
+        elif want_smp:
             result, sim = self._run_chunked(op, elems, uniforms)
         else:
             result, sim = self._run_whole(op, elems, uniforms, 0.0)
         self.real_time += time.perf_counter() - t0
         self.sim_time += sim
         return result
+
+    def _parsafe_admit(self, op, tel):
+        """May this op run on a parallel backend? Only statically
+        ``ProvenParallel`` ops are admitted; everything else (including
+        ``Unknown`` — unproven is unsafe) demotes to ``seq`` with a
+        ``parsafe.fallback`` diagnostic."""
+        verdict = classify_op(op)
+        if verdict.proven_parallel:
+            return True
+        self.parsafe_fallbacks += 1
+        if tel is not None:
+            tel.inc("parsafe.fallbacks")
+            tel.record("parsafe.fallback", op=type(op).__name__,
+                       name=op.name, backend=self.backend,
+                       verdict=verdict.status, checker=verdict.checker,
+                       blame=verdict.blame)
+        return False
 
     @staticmethod
     def _is_indexed(op):
@@ -164,6 +202,14 @@ class DeliteRuntime:
         if n < cores * 4:
             return self._run_whole(op, elems, uniforms, 0.0)
         bounds = [(i * n) // cores for i in range(cores + 1)]
+        sanitizer = None
+        if self.parsafe == "check":
+            # Dynamic cross-check of the static ProvenParallel verdict:
+            # record each chunk's write footprint, fail on overlap.
+            sanitizer = WriteSanitizer(op, elems, uniforms)
+            self.parsafe_checks += 1
+            if self.telemetry is not None:
+                self.telemetry.inc("parsafe.checks")
         partials = []
         chunk_times = []
         for c in range(cores):
@@ -172,6 +218,10 @@ class DeliteRuntime:
             t0 = time.perf_counter()
             partials.append(self._execute(op, chunk, uniforms))
             chunk_times.append(time.perf_counter() - t0)
+            if sanitizer is not None:
+                sanitizer.after_chunk(c, lo, hi)
+        if sanitizer is not None:
+            sanitizer.finish(telemetry=self.telemetry)
         sim = max(chunk_times) + self.sync_overhead_us * 1e-6
         result = self._combine(op, partials)
         return result, sim
@@ -201,6 +251,10 @@ class DeliteRuntime:
         kernel = getattr(op, "reduce_kernel", None)
         if kernel is not None:
             return kernel.scalar_fn(a, b)
+        # Chunk partials merge with '+'. Only sound when the op's fold is
+        # additive — exactly what the parsafe gate requires before a
+        # ReduceOp-with-kernel is admitted to smp (a non-associative fold
+        # stays ProvenSequential and never reaches this combiner).
         return a + b
 
     # -- the actual per-pattern execution -----------------------------------------------

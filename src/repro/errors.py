@@ -166,6 +166,28 @@ class DeoptStateError(CompilationError):
         self.findings = list(findings)
 
 
+class ParallelSafetyError(CompilationError):
+    """The parallel-safety re-checker found a fusion rewrite (or a
+    demanded parallel execution) whose kernels are not proven safe —
+    an internal inconsistency between the fusion preflight and the
+    effect summaries, surfaced like a failed translation validation."""
+
+    def __init__(self, message, findings=()):
+        super().__init__(message)
+        self.findings = list(findings)
+
+
+class RaceDetected(ReproError):
+    """The dynamic write sanitizer (``REPRO_PARSAFE=check``) observed two
+    chunks of a parallel Delite execution writing overlapping locations —
+    the runtime cross-check of a wrong ``ProvenParallel`` verdict."""
+
+    def __init__(self, message, op_name="", overlaps=()):
+        super().__init__(message)
+        self.op_name = op_name
+        self.overlaps = list(overlaps)
+
+
 class CompilationWarningList(ReproError):
     """Container surfaced when compiling with ``warnings_as_errors``."""
 

@@ -62,7 +62,7 @@ class Lancet:
         self.unit_cache = CodeCache(telemetry=self.telemetry,
                                     name="unit_cache")
         from repro.delite.runtime import DeliteRuntime
-        self.delite = DeliteRuntime()
+        self.delite = DeliteRuntime(parsafe=self.options.parsafe)
         self.delite.telemetry = self.telemetry
         self.vm.delite = self.delite
         # Tier machinery: unit registry, deopt-driven demotion, and OSR
@@ -506,7 +506,7 @@ class Lancet:
         if fuse:
             t0 = time.perf_counter()
             from repro.delite.fusion import fuse_delite
-            fuse_delite(result.blocks, jit=self)
+            fuse_delite(result.blocks, jit=self, diagnostics=diagnostics)
             if report is not None:
                 report.phases["fusion"] = time.perf_counter() - t0
         # The PassManager owns all IR-level optimization (block fusion,

@@ -30,6 +30,18 @@ Event kinds emitted by the built-in instrumentation::
     cache.hit / cache.miss / cache.evict / cache.flush
     macro.expand
     delite.launch
+    parsafe.verdict          (one parallel-safety verdict per Delite op:
+                             status, deciding checker, blame provenance)
+    parsafe.fallback         (unproven op demoted from smp/gpu to seq;
+                             counter ``parsafe.fallbacks``)
+    parsafe.race             (write sanitizer found overlapping chunk
+                             footprints; counters ``parsafe.checks`` /
+                             ``parsafe.races``)
+    fusion.reject            (fusion rewrite refused by the legality
+                             checker: kind, checker, kernels; counter
+                             ``fusion.rejects``)
+    fusion.recheck_fail      (a performed rewrite failed the post-hoc
+                             legality re-check)
     analysis.report          (per-unit IR analysis summary)
     analysis.verify_fail     (IR verifier found a malformed CFG)
     pass.run                 (one PassManager pass: timing, CFG deltas)

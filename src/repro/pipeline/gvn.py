@@ -23,6 +23,12 @@ elimination across blocks and to heap reads:
 * **interprocedural call CSE**: a residual ``invoke_method`` whose callee
   summary proves it pure joins the dominator-scoped table; a read-only
   callee joins the block-local table like a load.
+* **Delite launch CSE**: a ``delite`` statement whose kernel the
+  parallel-safety summaries prove write-free, and whose result is a
+  scalar (no identity to duplicate), behaves like a read-only call:
+  block-local reuse keyed on the op descriptor and argument reps,
+  invalidated by any intervening write. Before the kernel summaries
+  existed these launches were unconditionally opaque.
 
 Everything is rewritten through one substitution map, applied while
 walking the dominator tree in DFS order (definitions are always visited
@@ -34,6 +40,7 @@ from __future__ import annotations
 from repro.analysis.cfg import def_counts, dominators, predecessors
 from repro.analysis.effects import (COPY_OPS, clobbers, fresh_syms,
                                     invoke_summary, is_pure, load_key)
+from repro.analysis.parsafe import delite_cse_key, delite_write_free
 from repro.lms.ir import Branch, Deopt, Effect, Jump, OsrCompile, Return
 from repro.lms.rep import ConstRep, Rep, StaticRep, Sym
 
@@ -124,7 +131,8 @@ def global_value_numbering(blocks, entry_id):
     fresh = fresh_syms(blocks)
     subst = {}                  # name -> replacement Rep
     pure_table = {}             # value key -> Rep (dominator-scoped)
-    stats = {"phis": 0, "cse": 0, "copies": 0, "loads": 0, "calls": 0}
+    stats = {"phis": 0, "cse": 0, "copies": 0, "loads": 0, "calls": 0,
+             "delite": 0}
     stats["phis"] = _simplify_phis(blocks, entry_id, subst)
     counts = def_counts(blocks)
 
@@ -198,11 +206,24 @@ def global_value_numbering(blocks, entry_id):
                 load_table[key] = Sym(stmt.sym.name)
                 kept.append(stmt)
                 continue
+            dkey = delite_cse_key(stmt) if single else None
+            if dkey is not None:
+                # A proven write-free, scalar-result Delite launch is a
+                # read-only call over its input arrays.
+                hit = load_table.get(dkey)
+                if hit is not None:
+                    subst[stmt.sym.name] = hit
+                    stats["delite"] += 1
+                    continue
+                load_table[dkey] = Sym(stmt.sym.name)
+                kept.append(stmt)
+                continue
             # Effectful statement: drop every cached read it may clobber.
-            writes = stmt.op not in COPY_OPS and stmt.effect in (
-                Effect.WRITE, Effect.IO, Effect.CALL)
+            writes = stmt.op not in COPY_OPS and (
+                stmt.effect in (Effect.WRITE, Effect.IO, Effect.CALL)
+                or (stmt.op == "delite" and not delite_write_free(stmt)))
             for key in list(load_table):
-                if key[0] == "ro_call":
+                if key[0] in ("ro_call", "delite"):
                     if writes:
                         del load_table[key]
                 elif clobbers(stmt, key, fresh):

@@ -14,6 +14,13 @@ of its operands are defined outside the loop and one of:
   going to execute (and raise, if it raises) before any other effect
   anyway.
 
+A ``delite`` launch with invariant arguments also hoists when the
+parallel-safety summaries (:mod:`repro.analysis.parsafe`) prove its
+kernel write-free, its result scalar (no identity to duplicate), and no
+statement in the loop can write the heap it reads — the loop-invariant
+``vsum(xs)`` case. Before the kernel summaries existed, Delite launches
+were unconditionally pinned.
+
 Loops are processed innermost-first and the whole thing iterates to a
 fixpoint, so invariants chained through several statements (and through
 nested preheaders) all migrate out.
@@ -24,6 +31,8 @@ from __future__ import annotations
 from repro.analysis.cfg import dominates, dominators, predecessors
 from repro.analysis.effects import (COPY_OPS, clobbers, fresh_syms,
                                     is_pure, is_total, load_key)
+from repro.analysis.parsafe import (delite_scalar_result, delite_total,
+                                    delite_write_free)
 from repro.lms.ir import Effect, Jump
 from repro.lms.rep import Sym
 
@@ -115,6 +124,29 @@ def _loop_clobbers(blocks, body, key, fresh):
     return False
 
 
+def _delite_hoistable(stmt, blocks, body, in_header_prefix):
+    """May this Delite launch move to the preheader? Needs a proven
+    write-free kernel, a scalar result (array results carry identity,
+    like allocations), the usual totality-or-header-prefix rule, and a
+    loop body that cannot write the arrays the launch reads — since the
+    op reads arbitrary indices of its inputs, any write/call in the loop
+    (or another launch with an unproven kernel) pins it."""
+    if not delite_scalar_result(stmt) or not delite_write_free(stmt):
+        return False
+    if not (delite_total(stmt) or in_header_prefix):
+        return False
+    for bid in body:
+        for other in blocks[bid].stmts:
+            if other is stmt:
+                continue
+            if other.op == "delite":
+                if not delite_write_free(other):
+                    return False
+            elif other.effect in (Effect.WRITE, Effect.IO, Effect.CALL):
+                return False
+    return True
+
+
 def _hoist_from_loop(blocks, header, body, pre, fresh):
     moved = 0
     changed = True
@@ -137,6 +169,9 @@ def _hoist_from_loop(blocks, header, body, pre, fresh):
                         # Pure: anywhere if total, else only from the
                         # header's effect-free prefix.
                         hoist = is_total(stmt) or in_header_prefix
+                    elif stmt.op == "delite":
+                        hoist = _delite_hoistable(stmt, blocks, body,
+                                                  in_header_prefix)
                     else:
                         key = load_key(stmt)
                         if key is not None \

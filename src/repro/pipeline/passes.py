@@ -5,8 +5,8 @@ One pass list per tier, run between staging and code generation:
 * **Tier 1** (quick compile): ``fuse`` only — a single linear sweep so
   warmup compiles stay cheap.
 * **Tier 2** (optimizing compile): ``verify.staged`` → ``fuse`` →
-  ``gvn`` → ``licm`` → ``sink`` → ``range`` → ``dce`` → ``guards`` →
-  ``verify.optimized`` → ``taint`` → ``alloc``.
+  ``parsafe`` → ``gvn`` → ``licm`` → ``sink`` → ``range`` → ``dce`` →
+  ``guards`` → ``verify.optimized`` → ``taint`` → ``alloc``.
 
 Order encodes the semantics this package exists for: the verifier runs
 where IR is produced and again after the optimizer (which must preserve
@@ -79,10 +79,15 @@ _LEGACY_PHASE = {
 }
 
 #: Declarative per-tier pass lists (tier 0 never reaches the pipeline).
+#: ``parsafe`` (the Delite parallel-safety classifier) runs right after
+#: block fusion so it sees the final op descriptors; it only reports
+#: (flags + telemetry + diagnostics) and never rewrites, and it is
+#: skipped entirely unless the parsafe mode is on or the manager is in
+#: collect mode.
 TIER_PASSES = {
     1: ("fuse",),
-    2: ("verify.staged", "fuse", "gvn", "licm", "sink", "range", "dce",
-        "guards", "verify.optimized", "taint", "alloc"),
+    2: ("verify.staged", "fuse", "parsafe", "gvn", "licm", "sink", "range",
+        "dce", "guards", "verify.optimized", "taint", "alloc"),
 }
 
 #: CompileOptions attribute gating each optional pass.
@@ -206,12 +211,15 @@ class PassManager:
         a Tier-1 list to the full one — a demanded check must never be
         silently skipped for warmup speed."""
         verify = self.options.verify_ir or self.diagnostics is not None
+        parsafe = self.options.parsafe != "off" \
+            or self.diagnostics is not None
         if tier == 1 and (self.options.check_noalloc
                           or self.options.check_taint):
             tier = 2
         names = TIER_PASSES.get(tier, TIER_PASSES[2])
         names = tuple(n for n in names
                       if getattr(self.options, _PASS_FLAG.get(n, ""), True))
+        names = tuple(n for n in names if parsafe or n != "parsafe")
         return tuple(n for n in names
                      if verify or not n.startswith("verify."))
 
@@ -223,8 +231,10 @@ class PassManager:
         summary = {"removed_stmts": 0, "removed_guards": 0, "leaks": 0,
                    "noalloc_sites": 0, "gvn_removed": 0, "licm_hoisted": 0,
                    "sunk_allocs": 0, "range_pruned_guards": 0,
-                   "folded_branches": 0}
+                   "folded_branches": 0, "parsafe_proven": 0,
+                   "parsafe_unproven": 0}
         leaks, sites, sunk, range_detail = [], [], [], []
+        parsafe_verdicts = []
         ir_bad = False
         validate = self.options.validate_passes
         deoptchk = self.options.verify_deopt
@@ -254,6 +264,20 @@ class PassManager:
                 ir_bad = bool(info.get("errors"))
             elif pname == "fuse":
                 fuse_blocks(result.blocks, result.entry_bid)
+            elif pname == "parsafe":
+                from repro.analysis.parsafe import classify_blocks
+                parsafe_verdicts = classify_blocks(result.blocks)
+                proven = sum(1 for _, v in parsafe_verdicts
+                             if v.proven_parallel)
+                summary["parsafe_proven"] = proven
+                summary["parsafe_unproven"] = len(parsafe_verdicts) - proven
+                info = {"ops": len(parsafe_verdicts), "proven": proven}
+                for vstmt, v in parsafe_verdicts:
+                    self._tel_record("parsafe.verdict", unit=name,
+                                     sym=vstmt.sym.name, op=v.op_kind,
+                                     op_name=v.op_name, verdict=v.status,
+                                     checker=v.checker, blame=v.blame,
+                                     kernel=v.kernel_name)
             elif pname == "gvn":
                 stats = global_value_numbering(result.blocks,
                                                result.entry_bid)
@@ -323,6 +347,14 @@ class PassManager:
                          "hoisted" % summary["licm_hoisted"])
             diag.extend("info", "sink", sunk_detail(sunk))
             diag.extend("info", "range", range_detail)
+            for vstmt, v in parsafe_verdicts:
+                sev = "info" if v.proven_parallel else "warning"
+                payload = dict(v.to_dict(), sym=vstmt.sym.name)
+                diag.add(sev, "parsafe",
+                         "%s %s (%s): %s [%s] — %s"
+                         % (vstmt.sym.name, v.op_name, v.op_kind,
+                            v.status, v.checker, v.blame),
+                         data=payload)
             if summary["validate_checkpoints"]:
                 diag.add("info", "validate",
                          "%d speculation-soundness checkpoint(s), "

@@ -453,3 +453,76 @@ class TestDeprecatedShim:
             from repro.analysis.pipeline import AnalysisPipeline  # noqa: F401
         import repro.analysis as analysis
         assert not hasattr(analysis, "AnalysisPipeline")
+
+
+class TestDeliteOptimization:
+    """Kernel effect summaries unblock GVN/LICM/DCE on Delite launches.
+    Before them, every launch was pessimized as an arbitrary write (never
+    hoisted or merged) while paradoxically being removable when unused."""
+
+    def make(self, body, module):
+        from repro.optiml import load_optiml
+        jit = Lancet()
+        load_optiml(jit)
+        jit.load(body, module=module)
+        return jit, jit.vm.call(module, "mk")
+
+    def test_loop_invariant_launch_hoisted(self):
+        # vsum(xs) is invariant: write-free builtin, scalar result, total.
+        # Previously pinned in the loop -- one launch per iteration.
+        jit, cf = self.make('''
+            def mk() {
+              var xs = [1.0, 2.0, 3.0];
+              return Lancet.compile(fun(n) {
+                var total = 0.0;
+                var i = 0;
+                while (i < n) {
+                  total = total + Optiml.vsum(xs);
+                  i = i + 1;
+                }
+                return total;
+              });
+            }
+        ''', "DeliteHoist")
+        jit.delite.reset_clock()
+        assert cf(5) == pytest.approx(30.0)
+        assert jit.delite.ops_run == 1          # hoisted: 1 launch, 5 iters
+
+    def test_duplicate_launch_merged_by_gvn(self):
+        jit, cf = self.make('''
+            def mk() {
+              var xs = [1.0, 2.0, 3.0];
+              return Lancet.compile(fun(d) {
+                return Optiml.vsum(xs) + Optiml.vsum(xs);
+              });
+            }
+        ''', "DeliteCSE")
+        jit.delite.reset_clock()
+        assert cf(0) == pytest.approx(12.0)
+        assert jit.delite.ops_run == 1          # second launch CSE'd
+
+    def test_stateful_launch_stays_pinned(self):
+        # The kernel writes a captured accumulator: the launch must not
+        # hoist out of the loop, and must not be deleted as an unused
+        # allocation (its result is never read -- only the side effect,
+        # observed here through the captured guest array).
+        jit, pair = self.make('''
+            def mk() {
+              var xs = [1.0, 2.0];
+              var acc = newArray(1, 0.0);
+              var cf = Lancet.compile(fun(n) {
+                var i = 0;
+                while (i < n) {
+                  Optiml.vmap(xs, fun(x) { acc[0] = acc[0] + x; return x; });
+                  i = i + 1;
+                }
+                return i;
+              });
+              return [cf, acc];
+            }
+        ''', "DelitePinned")
+        cf, acc = pair[0], pair[1]
+        jit.delite.reset_clock()
+        assert cf(3) == 3
+        assert acc[0] == pytest.approx(9.0)     # 3 iterations x sum(xs)
+        assert jit.delite.ops_run == 3          # never hoisted or DCE'd

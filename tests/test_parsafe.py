@@ -1,0 +1,393 @@
+"""Parallel-safety analysis: kernel footprint summaries, the verdict
+lattice, backend gating, the dynamic write sanitizer, and fusion
+legality. Each hand-built racy kernel must be caught by exactly the
+checker named in its verdict."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import CompileOptions, Lancet
+from repro.analysis.parsafe import (PROVEN_PARALLEL, PROVEN_SEQUENTIAL,
+                                    UNKNOWN, ParVerdict, classify_op,
+                                    probe_combine, summarize_kernel)
+from repro.analysis.raced import WriteSanitizer
+from repro.delite.kernels import Kernel
+from repro.delite.ops import (CLUSTER_SUMS_2D, DOT, NEAREST_2D, SIGMOID,
+                              VSUB, VSUM, MapOp, ReduceBuiltin, ReduceOp,
+                              ZipMapOp, ZipWithIndexOp, mat_vec_cols,
+                              weighted_col_sums)
+from repro.delite.runtime import DeliteRuntime
+from repro.errors import RaceDetected
+
+
+@pytest.fixture
+def jit():
+    return Lancet()
+
+
+_COUNT = [0]
+
+
+def guest_closure(jit, source, module=None):
+    """Load ``source`` (defining ``mk``) and return ``mk()``."""
+    _COUNT[0] += 1
+    module = module or "ParsafeSrc%d" % _COUNT[0]
+    jit.load(source, module=module)
+    return jit.vm.call(module, "mk")
+
+
+def kernel_of(jit, fun_expr):
+    closure = guest_closure(jit, "def mk() { return %s; }" % fun_expr)
+    return Kernel.from_closure(jit, closure)
+
+
+# A map kernel that folds into a captured accumulator: the classic
+# shared-write race under chunked execution.
+_RACY_MAP = """
+def mk() {
+  var acc = newArray(1, 0.0);
+  return fun(x) { acc[0] = acc[0] + x; return x + 1.0; };
+}
+"""
+
+
+class TestKernelSummaries:
+    def test_pure_kernel_is_write_free(self, jit):
+        kernel = kernel_of(jit, "fun(x) => x * x + 1.0")
+        summary = summarize_kernel(kernel)
+        assert summary is not None and summary.write_free
+
+    def test_shared_accumulator_is_a_shared_write(self, jit):
+        kernel = Kernel.from_closure(jit, guest_closure(jit, _RACY_MAP))
+        summary = summarize_kernel(kernel)
+        assert not summary.write_free
+        assert summary.shared_writes
+        assert "shared" in summary.blame
+
+    def test_host_kernel_has_no_ir(self):
+        kernel = Kernel.from_host(lambda x: x, 1)
+        assert summarize_kernel(kernel) is None
+
+
+class TestVerdicts:
+    """Static classification: each racy pattern caught by the intended
+    checker, each safe pattern proven."""
+
+    def test_pure_map_proven_parallel(self, jit):
+        v = classify_op(MapOp(kernel_of(jit, "fun(x) => x * 2.0")))
+        assert v.status == PROVEN_PARALLEL
+        assert v.checker == "kernel-footprint"
+
+    def test_shared_accumulator_map_caught_by_kernel_footprint(self, jit):
+        kernel = Kernel.from_closure(jit, guest_closure(jit, _RACY_MAP))
+        v = classify_op(MapOp(kernel))
+        assert v.status == PROVEN_SEQUENTIAL
+        assert v.checker == "kernel-footprint"
+        assert "shared" in v.blame
+
+    def test_host_kernel_is_unknown_hence_unsafe(self):
+        v = classify_op(MapOp(Kernel.from_host(lambda x: x, 1)))
+        assert v.status == UNKNOWN
+        assert not v.proven_parallel      # unproven is unsafe
+
+    def test_zipwithindex_caught_by_aos_materialize(self):
+        v = classify_op(ZipWithIndexOp())
+        assert v.status == PROVEN_SEQUENTIAL
+        assert v.checker == "aos-materialize"
+
+    def test_elementwise_builtins_proven_by_contract(self):
+        for op in (NEAREST_2D, SIGMOID, VSUB):
+            v = classify_op(op)
+            assert v.status == PROVEN_PARALLEL
+            assert v.checker == "builtin-contract"
+
+    def test_reduce_builtins_proven_by_combine_probe(self):
+        for op in (VSUM, DOT, CLUSTER_SUMS_2D):
+            v = classify_op(op)
+            assert v.status == PROVEN_PARALLEL
+            assert v.checker == "combine-probe"
+
+    def test_subtractive_combine_caught_by_probe(self):
+        bad = ReduceBuiltin("sub-combine", 1,
+                            lambda elems, uniforms: float(np.sum(elems[0])),
+                            combine=lambda a, b: a - b, scalar_result=True)
+        v = classify_op(bad)
+        assert v.status == PROVEN_SEQUENTIAL
+        assert v.checker == "combine-probe"
+        assert not probe_combine(bad.combine)
+
+    def test_builtin_sum_reduce_proven(self):
+        v = classify_op(ReduceOp(None))
+        assert v.status == PROVEN_PARALLEL
+        assert v.checker == "reduce-combine"
+
+    def test_additive_fold_proven(self, jit):
+        v = classify_op(ReduceOp(kernel_of(jit, "fun(a, x) => a + x * x")))
+        assert v.status == PROVEN_PARALLEL
+        assert v.checker == "reduce-combine"
+
+    def test_non_associative_fold_caught_by_reduce_combine(self, jit):
+        v = classify_op(ReduceOp(kernel_of(jit, "fun(a, x) => a - x")))
+        assert v.status == PROVEN_SEQUENTIAL
+        assert v.checker == "reduce-combine"
+
+
+class TestBackendGate:
+    """Unproven ops must never reach a parallel backend: the runtime
+    demotes them to seq and the answer matches sequential execution."""
+
+    def test_racy_map_demoted_from_smp(self, jit):
+        kernel = Kernel.from_closure(jit, guest_closure(jit, _RACY_MAP))
+        xs = [float(i) for i in range(32)]
+        seq = DeliteRuntime(backend="seq", parsafe="enforce").run(
+            MapOp(kernel), xs)
+        smp = DeliteRuntime(backend="smp", cores=4, parsafe="enforce")
+        out = smp.run(MapOp(kernel), xs)
+        assert np.allclose(np.asarray(out), np.asarray(seq))
+        assert smp.parsafe_fallbacks == 1
+        assert smp.parsafe_checks == 0       # ran sequentially: no chunks
+
+    def test_non_associative_fold_demoted(self, jit):
+        # The smp combiner merges partials with '+': chunking fun(a,x)=>a-x
+        # would flip the sign of later chunks. The gate keeps it whole.
+        op = ReduceOp(kernel_of(jit, "fun(a, x) => a - x"))
+        xs = [float(i) for i in range(40)]
+        seq = DeliteRuntime(backend="seq").run(op, xs)
+        smp = DeliteRuntime(backend="smp", cores=4, parsafe="enforce")
+        assert smp.run(op, xs) == pytest.approx(seq)
+        assert smp.parsafe_fallbacks == 1
+
+    def test_gate_off_means_no_demotion(self, jit):
+        kernel = Kernel.from_closure(jit, guest_closure(jit, _RACY_MAP))
+        smp = DeliteRuntime(backend="smp", cores=4, parsafe="off")
+        smp.run(MapOp(kernel), [float(i) for i in range(32)])
+        assert smp.parsafe_fallbacks == 0
+
+    def test_proven_op_admitted(self):
+        smp = DeliteRuntime(backend="smp", cores=4, parsafe="enforce")
+        xs = [float(i) for i in range(64)]
+        assert smp.run(VSUM, xs) == pytest.approx(sum(xs))
+        assert smp.parsafe_fallbacks == 0
+
+
+class TestWriteSanitizer:
+    """check mode: the dynamic cross-check of the static verdicts."""
+
+    def test_overlapping_chunk_writes_raise(self):
+        op = MapOp(Kernel.from_host(lambda x: x, 1))
+        shared = [0.0]
+        san = WriteSanitizer(op, [[0.0] * 8], [shared])
+        shared[0] = 1.0
+        san.after_chunk(0, 0, 4)
+        shared[0] = 2.0
+        san.after_chunk(1, 4, 8)
+        with pytest.raises(RaceDetected) as exc:
+            san.finish()
+        assert "uniform[0]" in str(exc.value)
+
+    def test_disjoint_chunk_writes_pass(self):
+        op = MapOp(Kernel.from_host(lambda x: x, 1))
+        xs = [0.0] * 8
+        san = WriteSanitizer(op, [xs], [])
+        xs[1] = 1.0
+        san.after_chunk(0, 0, 4)
+        xs[5] = 1.0
+        fp = san.after_chunk(1, 4, 8)
+        assert fp == {"elem[0]": [(5, 5)]}
+        assert san.finish() == {0: {"elem[0]": [(1, 1)]},
+                                1: {"elem[0]": [(5, 5)]}}
+
+    def test_forged_verdict_caught_at_runtime(self, jit):
+        # Forge a ProvenParallel verdict onto a genuinely racy op (the
+        # mutation-test stance: break the prover, the checker must fire).
+        # The kernel folds into a captured accumulator; chunks 0 and 1
+        # both write it and the sanitizer reports the overlap.
+        kernel = Kernel.from_closure(jit, guest_closure(jit, _RACY_MAP))
+        op = MapOp(kernel)
+        op._parsafe_verdict = ParVerdict(
+            PROVEN_PARALLEL, "forged", "forged for mutation test",
+            op_kind="MapOp", op_name="map")
+        smp = DeliteRuntime(backend="smp", cores=4, parsafe="check")
+        with pytest.raises(RaceDetected) as exc:
+            smp.run(op, [float(i + 1) for i in range(16)])
+        assert smp.parsafe_checks == 1
+        assert exc.value.overlaps
+
+    def test_clean_chunked_run_sanitized_without_findings(self):
+        smp = DeliteRuntime(backend="smp", cores=4, parsafe="check")
+        xs = [float(i) for i in range(64)]
+        assert np.allclose(smp.run(SIGMOID, xs),
+                           1.0 / (1.0 + np.exp(-np.asarray(xs))))
+        assert smp.parsafe_checks == 1
+
+
+class TestFusionLegality:
+    def make(self, jit, body, module):
+        from repro.optiml import load_optiml
+        load_optiml(jit)
+        jit.telemetry.enable_trace()
+        jit.load(body, module=module)
+        return jit.vm.call(module, "mk")
+
+    def test_stateful_producer_blocks_map_map_fusion(self, jit):
+        cf = self.make(jit, '''
+            def mk() {
+              var xs = [1.0, 2.0, 3.0];
+              var acc = newArray(1, 0.0);
+              return Lancet.compile(fun(d) {
+                var a = Optiml.vmap(xs, fun(x) {
+                  acc[0] = acc[0] + x; return x + 1.0; });
+                var b = Optiml.vmap(a, fun(x) => x * 2.0);
+                return b;
+              });
+            }
+        ''', "FuseStateful")
+        out = cf(0)
+        assert np.allclose(np.asarray(out), [(x + 1) * 2 for x in [1, 2, 3]])
+        assert cf.source.count("_drun") == 2      # rewrite refused
+        rejects = jit.telemetry.events("fusion.reject")
+        assert rejects and rejects[0].data["checker"] == "stateful-kernel"
+        assert jit.telemetry.metrics.get("fusion.rejects") >= 1
+
+    def test_aliased_zip_inputs_block_map_reduce_fusion(self, jit):
+        cf = self.make(jit, '''
+            def mk() {
+              var xs = [1.0, 2.0, 3.0, 4.0];
+              var acc = newArray(1, 0.0);
+              return Lancet.compile(fun(d) {
+                var z = Optiml.vzip(xs, xs, fun(x, y) {
+                  acc[0] = x; return x + y; });
+                return Optiml.reduceSum(z);
+              });
+            }
+        ''', "FuseAlias")
+        assert cf(0) == pytest.approx(2.0 * (1 + 2 + 3 + 4))
+        assert cf.source.count("_drun") == 2      # rewrite refused
+        rejects = jit.telemetry.events("fusion.reject")
+        assert rejects and rejects[0].data["checker"] == "zip-alias"
+
+    def test_pure_fusion_unaffected(self, jit):
+        cf = self.make(jit, '''
+            def mk() {
+              var xs = [1.0, 2.0, 3.0];
+              return Lancet.compile(fun(d) {
+                var a = Optiml.vmap(xs, fun(x) => x + 1.0);
+                var b = Optiml.vmap(a, fun(x) => x * 2.0);
+                return b;
+              });
+            }
+        ''', "FusePure")
+        assert np.allclose(np.asarray(cf(0)), [4.0, 6.0, 8.0])
+        assert cf.source.count("_drun") == 1      # fused as before
+        assert jit.telemetry.metrics.get("fusion.rejects") == 0
+
+
+class TestAppsProvenParallel:
+    """The acceptance gate: every Delite op in the compiled OptiML apps
+    classifies ProvenParallel, and the smp backend under the sanitizer
+    (REPRO_PARSAFE=check) reproduces sequential results with zero
+    fallbacks and zero races."""
+
+    def compiled_app(self, name, module, fn_args):
+        from repro.apps import load_app
+        from repro.optiml import load_optiml
+        jit = Lancet(options=CompileOptions(parsafe="check"))
+        load_optiml(jit)
+        load_app(jit, name, module=module)
+        cf = jit.vm.call(module, "makeCompiled", fn_args)
+        return jit, cf
+
+    def delite_verdicts(self, cf):
+        return [(stmt.flags.get("parsafe"), stmt.flags["parsafe_verdict"])
+                for block in cf.ir.blocks.values()
+                for stmt in block.stmts if stmt.op == "delite"]
+
+    def check_app(self, name, module, fn_args):
+        jit, cf = self.compiled_app(name, module, fn_args)
+        verdicts = self.delite_verdicts(cf)
+        assert verdicts, "no delite ops compiled for %s" % name
+        assert all(status == PROVEN_PARALLEL for status, _ in verdicts), \
+            [v.to_dict() for _, v in verdicts]
+        jit.delite.configure("seq")
+        seq = cf(0)
+        jit.delite.configure("smp", cores=4)
+        smp = cf(0)
+        assert _nested_close(seq, smp)
+        assert jit.delite.parsafe_fallbacks == 0
+        assert jit.delite.parsafe_checks > 0
+        assert jit.telemetry.metrics.get("parsafe.races") == 0
+
+    def test_kmeans_all_ops_proven(self):
+        from repro.optiml.reference import kmeans_data
+        px, py = kmeans_data(120, 3)
+        self.check_app("kmeans", "Kmeans", [px, py, 3, 2])
+
+    def test_logreg_all_ops_proven(self):
+        from repro.optiml.reference import logreg_data
+        cols, y = logreg_data(80, 2)
+        self.check_app("logreg", "Logreg", [cols, y, 3, 0.1])
+
+    def test_namescore_all_ops_proven(self):
+        from repro.optiml.reference import names_data
+        names = names_data(60)
+        self.check_app("namescore", "Namescore", [names])
+
+
+def _nested_close(a, b):
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(_nested_close(x, y)
+                                        for x, y in zip(a, b))
+    return np.allclose(np.asarray(a, dtype=np.float64),
+                       np.asarray(b, dtype=np.float64))
+
+
+class TestSeqSmpEquivalence:
+    """Hypothesis leg: for every ProvenParallel op the OptiML apps use,
+    sanitized chunked execution must agree with sequential execution on
+    arbitrary inputs (and the sanitizer must observe no overlap)."""
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=16,
+                    max_size=64))
+    def test_elementwise_and_reduce_builtins(self, xs):
+        for op in (SIGMOID, VSUM):
+            assert classify_op(op).proven_parallel
+            seq = DeliteRuntime(backend="seq").run(op, xs)
+            smp = DeliteRuntime(backend="smp", cores=4, parsafe="check")
+            assert np.allclose(seq, smp.run(op, xs))
+            assert smp.parsafe_fallbacks == 0
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(2, 5), st.lists(
+        st.floats(-50, 50, allow_nan=False), min_size=20, max_size=48))
+    def test_app_pipeline_builtins(self, k, px):
+        py = [x * 0.5 - 1.0 for x in px]
+        cx, cy = px[:k], py[:k]
+        for op, args in ((NEAREST_2D, (px, py, cx, cy)),
+                         (VSUB, (px, py)),
+                         (DOT, (px, py)),
+                         (mat_vec_cols(2), (px, py, [0.5, -0.25])),
+                         (weighted_col_sums(2), (px, py, py))):
+            assert classify_op(op).proven_parallel
+            seq = DeliteRuntime(backend="seq").run(op, *args)
+            smp = DeliteRuntime(backend="smp", cores=4, parsafe="check")
+            assert np.allclose(seq, smp.run(op, *args))
+            assert smp.parsafe_fallbacks == 0
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(2, 4), st.lists(
+        st.floats(-10, 10, allow_nan=False), min_size=16, max_size=40))
+    def test_cluster_sums(self, k, px):
+        py = [x + 1.0 for x in px]
+        assign = [i % k for i in range(len(px))]
+        assert classify_op(CLUSTER_SUMS_2D).proven_parallel
+        seq = DeliteRuntime(backend="seq").run(
+            CLUSTER_SUMS_2D, px, py, assign, k)
+        smp = DeliteRuntime(backend="smp", cores=4, parsafe="check")
+        assert np.allclose(seq, smp.run(CLUSTER_SUMS_2D, px, py, assign, k))

@@ -233,11 +233,20 @@ class TestPassManagerTiers:
         assert pm.passes_for(1) == ("fuse",)
 
     def test_tier2_pass_list_is_full(self):
-        pm = PassManager(CompileOptions())
+        pm = PassManager(CompileOptions(parsafe="off"))
         names = pm.passes_for(2)
+        # verify.* needs verify_ir; parsafe needs the gate on (or a
+        # collect-mode diagnostics sink).
         assert names == tuple(n for n in TIER_PASSES[2]
-                              if not n.startswith("verify."))
+                              if not n.startswith("verify.")
+                              and n != "parsafe")
         assert "dce" in names and "taint" in names and "alloc" in names
+
+    def test_parsafe_pass_gated_on_option(self):
+        assert "parsafe" in PassManager(
+            CompileOptions(parsafe="check")).passes_for(2)
+        assert "parsafe" not in PassManager(
+            CompileOptions(parsafe="off")).passes_for(2)
 
     def test_demanded_checks_upgrade_tier1(self):
         pm = PassManager(CompileOptions(tier=1, check_noalloc=True))
